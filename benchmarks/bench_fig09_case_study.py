@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 9 of the paper: the NBA case study: kSPR regions of the focal centre in two seasons (k=3)."""
+
+from __future__ import annotations
+
+
+def test_fig09(figure_runner):
+    """Figure 9: the NBA case study: kSPR regions of the focal centre in two seasons (k=3)."""
+    result = figure_runner("fig09")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 10(a) of the paper: LP-CTA against the monochromatic reverse top-k sweep on 2-d data."""
+
+from __future__ import annotations
+
+
+def test_fig10a(figure_runner):
+    """Figure 10(a): LP-CTA against the monochromatic reverse top-k sweep on 2-d data."""
+    result = figure_runner("fig10a")
+    assert result.rows, "the experiment must produce at least one row"

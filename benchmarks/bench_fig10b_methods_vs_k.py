@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 10(b) of the paper: CTA, P-CTA, LP-CTA and the iMaxRank baseline as k varies."""
+
+from __future__ import annotations
+
+
+def test_fig10b(figure_runner):
+    """Figure 10(b): CTA, P-CTA, LP-CTA and the iMaxRank baseline as k varies."""
+    result = figure_runner("fig10b")
+    assert result.rows, "the experiment must produce at least one row"

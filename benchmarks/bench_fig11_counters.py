@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 11 of the paper: processed records and CellTree nodes as k varies."""
+
+from __future__ import annotations
+
+
+def test_fig11(figure_runner):
+    """Figure 11: processed records and CellTree nodes as k varies."""
+    result = figure_runner("fig11")
+    assert result.rows, "the experiment must produce at least one row"

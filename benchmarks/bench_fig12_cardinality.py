@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 12 of the paper: response time and space consumption as the cardinality grows."""
+
+from __future__ import annotations
+
+
+def test_fig12(figure_runner):
+    """Figure 12: response time and space consumption as the cardinality grows."""
+    result = figure_runner("fig12")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 13 of the paper: response time and result size as the dimensionality grows."""
+
+from __future__ import annotations
+
+
+def test_fig13(figure_runner):
+    """Figure 13: response time and result size as the dimensionality grows."""
+    result = figure_runner("fig13")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 14 of the paper: LP-CTA across the IND / COR / ANTI distributions."""
+
+from __future__ import annotations
+
+
+def test_fig14(figure_runner):
+    """Figure 14: LP-CTA across the IND / COR / ANTI distributions."""
+    result = figure_runner("fig14")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 15 of the paper: the HOTEL / HOUSE / NBA surrogates as k varies."""
+
+from __future__ import annotations
+
+
+def test_fig15(figure_runner):
+    """Figure 15: the HOTEL / HOUSE / NBA surrogates as k varies."""
+    result = figure_runner("fig15")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 16 of the paper: the LP feasibility test against exact halfspace intersection."""
+
+from __future__ import annotations
+
+
+def test_fig16(figure_runner):
+    """Figure 16: the LP feasibility test against exact halfspace intersection."""
+    result = figure_runner("fig16")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 17 of the paper: the effect of dropping inconsequential halfspaces (Lemma 2)."""
+
+from __future__ import annotations
+
+
+def test_fig17(figure_runner):
+    """Figure 17: the effect of dropping inconsequential halfspaces (Lemma 2)."""
+    result = figure_runner("fig17")
+    assert result.rows, "the experiment must produce at least one row"

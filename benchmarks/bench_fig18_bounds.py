@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 18 of the paper: record vs group vs fast bounds inside LP-CTA."""
+
+from __future__ import annotations
+
+
+def test_fig18(figure_runner):
+    """Figure 18: record vs group vs fast bounds inside LP-CTA."""
+    result = figure_runner("fig18")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 19 (Appendix A) of the paper: the disk-based scenario with simulated I/O."""
+
+from __future__ import annotations
+
+
+def test_fig19(figure_runner):
+    """Figure 19 (Appendix A): the disk-based scenario with simulated I/O."""
+    result = figure_runner("fig19")
+    assert result.rows, "the experiment must produce at least one row"

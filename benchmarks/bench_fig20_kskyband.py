@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 20 (Appendix B) of the paper: P-CTA against the k-skyband approach."""
+
+from __future__ import annotations
+
+
+def test_fig20(figure_runner):
+    """Figure 20 (Appendix B): P-CTA against the k-skyband approach."""
+    result = figure_runner("fig20")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 22 (Appendix C) of the paper: transformed-space vs original-space processing."""
+
+from __future__ import annotations
+
+
+def test_fig22(figure_runner):
+    """Figure 22 (Appendix C): transformed-space vs original-space processing."""
+    result = figure_runner("fig22")
+    assert result.rows, "the experiment must produce at least one row"

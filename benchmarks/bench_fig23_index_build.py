@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 23 (Appendix D) of the paper: index construction cost (R-tree vs aggregate R-tree)."""
+
+from __future__ import annotations
+
+
+def test_fig23(figure_runner):
+    """Figure 23 (Appendix D): index construction cost (R-tree vs aggregate R-tree)."""
+    result = figure_runner("fig23")
+    assert result.rows, "the experiment must produce at least one row"

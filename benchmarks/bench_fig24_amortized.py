@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 24 (Appendix D) of the paper: response time with the index build amortised over a workload."""
+
+from __future__ import annotations
+
+
+def test_fig24(figure_runner):
+    """Figure 24 (Appendix D): response time with the index build amortised over a workload."""
+    result = figure_runner("fig24")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table 1 of the paper: the real-dataset surrogates and their properties."""
+
+from __future__ import annotations
+
+
+def test_table1(figure_runner):
+    """Table 1: the real-dataset surrogates and their properties."""
+    result = figure_runner("table1")
+    assert result.rows, "the experiment must produce at least one row"

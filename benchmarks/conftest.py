@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper by calling the
+corresponding entry of :data:`repro.experiments.figures.FIGURES` exactly once
+(``benchmark.pedantic`` with one round — the figure functions already time the
+individual algorithms internally, so repeating them would only multiply wall
+time).  The rendered rows are printed and archived under
+``benchmarks/results/`` so that EXPERIMENTS.md can be cross-checked against a
+fresh run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_figure
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import render_figure
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Run a figure once under pytest-benchmark and archive its table."""
+
+    def run(figure_id: str, quick: bool = True) -> FigureResult:
+        result = benchmark.pedantic(
+            run_figure, args=(figure_id,), kwargs={"quick": quick}, rounds=1, iterations=1
+        )
+        rendered = render_figure(result)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{figure_id}.txt").write_text(rendered + "\n")
+        print(f"\n{rendered}")
+        return result
+
+    return run

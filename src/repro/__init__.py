@@ -1,0 +1,83 @@
+"""kSPR: k-Shortlist Preference Region identification.
+
+A faithful, pure-Python reproduction of
+
+    Bo Tang, Kyriakos Mouratidis, Man Lung Yiu.
+    "Determining the Impact Regions of Competing Options in Preference Space."
+    SIGMOD 2017.
+
+Given a dataset of options, a focal record ``p`` and an integer ``k``, the
+library reports every region of the linear-preference space in which ``p``
+ranks among the top-k options — the regions that capture all user profiles
+for which ``p`` is highly preferable.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import Dataset, kspr
+>>> restaurants = Dataset(np.array([
+...     [3, 8, 8],   # L'Entrecote
+...     [9, 4, 4],   # Beirut Grill
+...     [8, 3, 4],   # El Coyote
+...     [4, 3, 6],   # La Braceria
+... ]))
+>>> result = kspr(restaurants, focal=[5, 5, 7], k=3)   # Kyma
+>>> len(result) > 0
+True
+>>> 0.0 < result.impact_probability() <= 1.0
+True
+
+The main algorithms are exposed both through :func:`kspr` (method dispatch)
+and directly as :func:`cta`, :func:`pcta` and :func:`lpcta`.  Baselines,
+workload generators, market-impact analysis and the full experiment harness
+live in the :mod:`repro.baselines`, :mod:`repro.data`, :mod:`repro.analysis`
+and :mod:`repro.experiments` subpackages.
+"""
+
+from .core import (
+    BoundsMode,
+    KSPRResult,
+    PreferenceRegion,
+    QueryStats,
+    VerificationReport,
+    available_methods,
+    cta,
+    kspr,
+    lpcta,
+    pcta,
+    rank_under_weights,
+    verify_result,
+)
+from .exceptions import (
+    GeometryError,
+    InvalidDatasetError,
+    InvalidQueryError,
+    LPSolverError,
+    ReproError,
+)
+from .records import Dataset, Record
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "Record",
+    "kspr",
+    "cta",
+    "pcta",
+    "lpcta",
+    "available_methods",
+    "BoundsMode",
+    "KSPRResult",
+    "PreferenceRegion",
+    "QueryStats",
+    "VerificationReport",
+    "rank_under_weights",
+    "verify_result",
+    "ReproError",
+    "InvalidDatasetError",
+    "InvalidQueryError",
+    "GeometryError",
+    "LPSolverError",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Market-impact analysis on top of kSPR results.
+
+The kSPR regions are the raw material for the applications sketched in the
+paper's introduction: market impact analysis, customer profiling and targeted
+advertising.  :mod:`repro.analysis.impact` turns a :class:`~repro.core.result.KSPRResult`
+into interpretable numbers — the probability that a random user shortlists the
+focal record (under a uniform or an arbitrary preference distribution) and the
+average preference profile of those users.
+"""
+
+from .impact import (
+    ImpactSummary,
+    impact_probability,
+    market_impact,
+    weighted_impact_probability,
+)
+
+__all__ = [
+    "ImpactSummary",
+    "impact_probability",
+    "weighted_impact_probability",
+    "market_impact",
+]

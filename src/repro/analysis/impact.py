@@ -1,0 +1,140 @@
+"""Market impact metrics derived from kSPR regions.
+
+Two estimators are provided, mirroring the discussion in Section 1:
+
+* :func:`impact_probability` — exact for a *uniform* preference distribution:
+  the summed volume of the result regions divided by the volume of the
+  preference simplex.
+* :func:`weighted_impact_probability` — Monte-Carlo integration of an
+  arbitrary preference PDF (supplied as a sampler) over the result regions,
+  for the case where user preferences are known (e.g. learned from query
+  logs).
+
+:func:`market_impact` bundles both with the *preference profile*: the average
+weight vector of the users for whom the focal record is shortlisted, which is
+what the case study of Section 7.2 reads off the plotted regions ("stress his
+attack capabilities" vs "emphasise his defence skills").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.result import KSPRResult
+from ..geometry.transform import random_weight_vectors, transformed_to_original
+
+__all__ = [
+    "ImpactSummary",
+    "impact_probability",
+    "weighted_impact_probability",
+    "market_impact",
+]
+
+
+@dataclass(frozen=True)
+class ImpactSummary:
+    """Interpretable description of a focal record's market impact."""
+
+    #: Probability that a uniformly random user shortlists the focal record.
+    uniform_probability: float
+    #: Probability under the supplied preference sampler (equals the uniform
+    #: value when no sampler is given).
+    weighted_probability: float
+    #: Average (original-space) weight vector over the result regions, or
+    #: ``None`` when the result is empty.
+    mean_preference: np.ndarray | None
+    #: Number of disjoint preference regions.
+    region_count: int
+
+
+def impact_probability(result: KSPRResult) -> float:
+    """Exact impact probability under a uniform preference distribution."""
+    if result.is_empty:
+        return 0.0
+    return float(result.impact_probability())
+
+
+def weighted_impact_probability(
+    result: KSPRResult,
+    dimensionality: int,
+    sampler: Callable[[np.random.Generator, int], np.ndarray] | None = None,
+    samples: int = 20_000,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Monte-Carlo impact probability under an arbitrary preference distribution.
+
+    Parameters
+    ----------
+    result:
+        The kSPR answer for the focal record.
+    dimensionality:
+        Data dimensionality ``d`` (weight vectors have ``d`` components).
+    sampler:
+        Callable ``(rng, count) -> (count, d) array`` of normalised weight
+        vectors drawn from the user-preference distribution.  Defaults to the
+        uniform distribution over the simplex.
+    samples:
+        Number of Monte-Carlo samples.
+    """
+    if result.is_empty or samples <= 0:
+        return 0.0
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if sampler is None:
+        vectors = random_weight_vectors(dimensionality, samples, rng)
+    else:
+        vectors = np.asarray(sampler(rng, samples), dtype=float)
+    hits = sum(1 for vector in vectors if result.contains_weights(vector))
+    return hits / len(vectors)
+
+
+def market_impact(
+    result: KSPRResult,
+    dimensionality: int,
+    sampler: Callable[[np.random.Generator, int], np.ndarray] | None = None,
+    samples: int = 20_000,
+    rng: np.random.Generator | int | None = None,
+) -> ImpactSummary:
+    """Full impact summary: probabilities plus the mean preference profile."""
+    uniform = impact_probability(result)
+    weighted = (
+        uniform
+        if sampler is None
+        else weighted_impact_probability(result, dimensionality, sampler, samples, rng)
+    )
+    mean_preference = _mean_preference(result, dimensionality, samples, rng)
+    return ImpactSummary(
+        uniform_probability=uniform,
+        weighted_probability=weighted,
+        mean_preference=mean_preference,
+        region_count=len(result),
+    )
+
+
+def _mean_preference(
+    result: KSPRResult,
+    dimensionality: int,
+    samples: int,
+    rng: np.random.Generator | int | None,
+) -> np.ndarray | None:
+    """Volume-weighted centroid of the result regions, in the original space."""
+    if result.is_empty:
+        return None
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    vectors = random_weight_vectors(dimensionality, samples, rng)
+    inside = [vector for vector in vectors if result.contains_weights(vector)]
+    if inside:
+        return np.mean(np.vstack(inside), axis=0)
+    # Fall back to region witnesses when sampling misses thin regions.
+    witnesses = [
+        transformed_to_original(region.interior_point())
+        for region in result.regions
+        if region.witness is not None or region.geometry is not None
+    ]
+    if not witnesses:
+        return None
+    return np.mean(np.vstack(witnesses), axis=0)

@@ -1,0 +1,25 @@
+"""Competitor methods the paper compares against.
+
+* :mod:`repro.baselines.rtopk` — the monochromatic reverse top-k sweep of
+  Vlachou et al., applicable only to two-dimensional data (Figure 10(a)).
+* :mod:`repro.baselines.maxrank` — ``iMaxRank``: the incremental maximum-rank
+  query of Mouratidis et al. adapted to kSPR, built on a quad-tree partition
+  of the preference space (Figure 10(b)).
+* :mod:`repro.baselines.kskyband` — CTA fed with the k-skyband of the dataset
+  (Appendix B).
+* :mod:`repro.baselines.bruteforce` — full arrangement enumeration; exact but
+  exponential, used as ground truth on tiny instances.
+"""
+
+from .bruteforce import brute_force_kspr
+from .kskyband import kskyband_cta
+from .maxrank import imaxrank
+from .rtopk import monochromatic_reverse_topk, rtopk_intervals
+
+__all__ = [
+    "brute_force_kspr",
+    "kskyband_cta",
+    "imaxrank",
+    "monochromatic_reverse_topk",
+    "rtopk_intervals",
+]

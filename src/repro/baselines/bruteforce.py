@@ -1,0 +1,59 @@
+"""Brute-force kSPR by full arrangement enumeration.
+
+This baseline materialises every cell of the arrangement of competitor
+hyperplanes (Section 3.2's "impractical" strategy) and keeps the cells whose
+rank does not exceed ``k``.  Its cost is exponential in practice, so it is
+only usable on tiny instances — which is precisely its role here: it provides
+ground truth for the test-suite, independently of the CellTree machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..core.base import ReportedCell, build_result, prepare_context
+from ..core.result import KSPRResult
+from ..geometry.arrangement import enumerate_arrangement
+from ..records import Dataset
+
+__all__ = ["brute_force_kspr"]
+
+
+def brute_force_kspr(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    max_cells: int | None = 200_000,
+    finalize_geometry: bool = True,
+) -> KSPRResult:
+    """Answer a kSPR query by enumerating the full arrangement.
+
+    ``max_cells`` bounds the enumeration (a ``RuntimeError`` is raised beyond
+    it) to protect against accidental use on large inputs.
+    """
+    context = prepare_context(dataset, focal, k, algorithm="BruteForce")
+    if context.effective_k < 1:
+        return build_result(context, [], None, finalize_geometry)
+
+    enumeration_start = time.perf_counter()
+    hyperplanes = [
+        context.hyperplane_for(record.record_id) for record in context.competitors
+    ]
+    context.stats.processed_records = len(hyperplanes)
+    cells = enumerate_arrangement(
+        hyperplanes,
+        context.cell_dimensionality,
+        counters=context.counters,
+        max_cells=max_cells,
+    )
+    context.stats.add_phase("enumeration", time.perf_counter() - enumeration_start)
+
+    reported = [
+        ReportedCell(halfspaces=cell.halfspaces, rank=cell.rank, witness=cell.witness)
+        for cell in cells
+        if cell.rank <= context.effective_k
+    ]
+    return build_result(context, reported, None, finalize_geometry)

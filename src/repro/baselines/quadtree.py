@@ -1,0 +1,152 @@
+"""Quad-tree partition of the transformed preference space.
+
+The maximum-rank baseline (:mod:`repro.baselines.maxrank`) indexes the
+preference domain with a space-partitioning quad-tree, as in the original
+paper by Mouratidis et al.  Every node covers an axis-aligned box of the
+transformed space and keeps
+
+* ``base_rank`` — one plus the number of positive halfspaces known to cover
+  the whole box, and
+* ``crossing`` — the hyperplanes that intersect the box and therefore still
+  need to be resolved inside it.
+
+The paper's discussion (Section 4.1) points out the drawbacks of this
+representation compared with the CellTree: boxes must be materialised
+explicitly and a single arrangement cell may be spread over many leaves,
+duplicating work — which is exactly the behaviour the comparison in
+Figure 10(b) exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..geometry.halfspace import Halfspace, Hyperplane
+
+__all__ = ["QuadTreeNode", "build_quadtree", "box_halfspaces"]
+
+
+@dataclass
+class QuadTreeNode:
+    """One box of the quad-tree partition."""
+
+    low: np.ndarray
+    high: np.ndarray
+    depth: int
+    base_rank: int
+    crossing: list[Hyperplane]
+    children: list["QuadTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the box has not been subdivided."""
+        return not self.children
+
+    def center(self) -> np.ndarray:
+        """Geometric centre of the box."""
+        return (self.low + self.high) / 2.0
+
+    def intersects_simplex(self) -> bool:
+        """Whether the box intersects the open transformed preference space."""
+        return float(np.sum(self.low)) < 1.0
+
+
+def _classify(hyperplane: Hyperplane, low: np.ndarray, high: np.ndarray) -> str:
+    """Position of a box relative to a hyperplane: '+', '-' or 'x' (crossing)."""
+    coefficients = hyperplane.coefficients
+    minimum = float(np.sum(np.where(coefficients > 0, coefficients * low, coefficients * high)))
+    maximum = float(np.sum(np.where(coefficients > 0, coefficients * high, coefficients * low)))
+    if minimum - hyperplane.offset > 0:
+        return "+"
+    if maximum - hyperplane.offset < 0:
+        return "-"
+    return "x"
+
+
+def box_halfspaces(low: np.ndarray, high: np.ndarray) -> list[Halfspace]:
+    """The box expressed as synthetic halfspaces (for LP feasibility tests)."""
+    dimensionality = low.shape[0]
+    halfspaces: list[Halfspace] = []
+    for axis in range(dimensionality):
+        unit = np.zeros(dimensionality)
+        unit[axis] = 1.0
+        halfspaces.append(Halfspace(Hyperplane(unit, float(low[axis])), "+"))
+        halfspaces.append(Halfspace(Hyperplane(unit, float(high[axis])), "-"))
+    return halfspaces
+
+
+def build_quadtree(
+    hyperplanes: list[Hyperplane],
+    dimensionality: int,
+    k: int,
+    leaf_capacity: int = 8,
+    max_depth: int = 6,
+) -> QuadTreeNode:
+    """Partition the unit box of the transformed space around the hyperplanes.
+
+    A node is subdivided while it intersects the preference simplex, holds
+    more than ``leaf_capacity`` crossing hyperplanes, is shallower than
+    ``max_depth`` and its ``base_rank`` does not already exceed ``k``.
+    """
+    degenerate_positive = sum(
+        1 for hyperplane in hyperplanes if hyperplane.is_degenerate and hyperplane.offset < 0
+    )
+    effective = [hyperplane for hyperplane in hyperplanes if not hyperplane.is_degenerate]
+    root = QuadTreeNode(
+        low=np.zeros(dimensionality),
+        high=np.ones(dimensionality),
+        depth=0,
+        base_rank=1 + degenerate_positive,
+        crossing=list(effective),
+    )
+    _subdivide(root, k, leaf_capacity, max_depth)
+    return root
+
+
+def _subdivide(node: QuadTreeNode, k: int, leaf_capacity: int, max_depth: int) -> None:
+    if (
+        not node.intersects_simplex()
+        or node.base_rank > k
+        or len(node.crossing) <= leaf_capacity
+        or node.depth >= max_depth
+    ):
+        return
+    dimensionality = node.low.shape[0]
+    center = node.center()
+    for corner in range(2 ** dimensionality):
+        low = node.low.copy()
+        high = node.high.copy()
+        for axis in range(dimensionality):
+            if corner >> axis & 1:
+                low[axis] = center[axis]
+            else:
+                high[axis] = center[axis]
+        child = QuadTreeNode(
+            low=low, high=high, depth=node.depth + 1, base_rank=node.base_rank, crossing=[]
+        )
+        if not child.intersects_simplex():
+            continue
+        for hyperplane in node.crossing:
+            side = _classify(hyperplane, low, high)
+            if side == "+":
+                child.base_rank += 1
+            elif side == "x":
+                child.crossing.append(hyperplane)
+        if child.base_rank > k:
+            continue
+        node.children.append(child)
+        _subdivide(child, k, leaf_capacity, max_depth)
+
+
+def iter_leaves(node: QuadTreeNode) -> Iterator[QuadTreeNode]:
+    """Yield the (non-pruned) leaves of the quad-tree."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            yield current
+        else:
+            stack.extend(current.children)

@@ -1,0 +1,154 @@
+"""RTOPK — the monochromatic reverse top-k sweep for two-dimensional data.
+
+Vlachou et al. observe that with ``d = 2`` every scoring function can be
+written as ``a * r_1 + (1 - a) * r_2`` with ``a`` in ``[0, 1]``, so the
+preference space is a line segment.  For any record ``r`` that neither
+dominates nor is dominated by the focal record ``p`` there is exactly one
+*switching value* of ``a`` where the two records trade places score-wise.
+Sorting the switching values and sweeping ``a`` from 0 to 1 while maintaining
+the number of records that out-score ``p`` yields the intervals where ``p``
+ranks in the top-k — a kSPR answer for the special case ``d = 2``.
+
+The paper uses this method as the competitor in Figure 10(a).  It does not
+extend to higher dimensions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidQueryError
+from ..geometry.halfspace import Halfspace, Hyperplane
+from ..geometry.polytope import RegionGeometry
+from ..records import Dataset
+from ..core.result import KSPRResult, PreferenceRegion, QueryStats
+
+__all__ = ["rtopk_intervals", "monochromatic_reverse_topk"]
+
+
+@dataclass(frozen=True)
+class _Switch:
+    """A switching value: crossing it changes who wins between ``r`` and ``p``."""
+
+    value: float
+    delta: int  # +1 if the record starts to beat p when a grows past value, else -1
+
+
+def rtopk_intervals(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+) -> list[tuple[float, float, int]]:
+    """Intervals of ``a`` (weight of the first attribute) where ``p`` is top-k.
+
+    Returns ``(a_low, a_high, worst_rank)`` triples with ``worst_rank <= k``.
+    """
+    focal = np.asarray(focal, dtype=float)
+    if dataset.dimensionality != 2 or focal.shape != (2,):
+        raise InvalidQueryError("the monochromatic reverse top-k sweep requires d = 2")
+    if k < 1:
+        raise InvalidQueryError("k must be a positive integer")
+
+    partition = dataset.partition_by_focal(focal)
+    baseline = partition.dominators  # they beat p for every value of a
+    if partition.effective_k(k) < 1:
+        return []
+
+    switches: list[_Switch] = []
+    always_above = 0
+    for record in partition.competitors:
+        r1, r2 = record.values
+        p1, p2 = focal
+        # Score difference as a function of a: (r1-p1) a + (r2-p2)(1-a).
+        slope = (r1 - p1) - (r2 - p2)
+        intercept = r2 - p2
+        if abs(slope) < 1e-15:
+            if intercept > 0:
+                always_above += 1
+            continue
+        crossing = -intercept / slope
+        if crossing <= 0.0:
+            if slope > 0:
+                always_above += 1
+            continue
+        if crossing >= 1.0:
+            if intercept > 0:
+                always_above += 1
+            continue
+        # For a slightly above the crossing the record beats p iff slope > 0.
+        switches.append(_Switch(crossing, +1 if slope > 0 else -1))
+
+    switches.sort(key=lambda switch: switch.value)
+    # Number of records beating p just after a = 0.
+    beating = baseline + always_above + sum(1 for s in switches if s.delta < 0)
+
+    intervals: list[tuple[float, float, int]] = []
+    previous = 0.0
+    index = 0
+    while index <= len(switches):
+        upper = switches[index].value if index < len(switches) else 1.0
+        if upper > previous and beating + 1 <= k:
+            intervals.append((previous, upper, beating + 1))
+        if index < len(switches):
+            beating += switches[index].delta
+            previous = switches[index].value
+        index += 1
+
+    # Merge adjacent intervals (ranks may differ; keep the worst).
+    merged: list[tuple[float, float, int]] = []
+    for low, high, rank in intervals:
+        if merged and abs(merged[-1][1] - low) < 1e-12:
+            last_low, _, last_rank = merged[-1]
+            merged[-1] = (last_low, high, max(last_rank, rank))
+        else:
+            merged.append((low, high, rank))
+    return merged
+
+
+def monochromatic_reverse_topk(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+) -> KSPRResult:
+    """Answer a 2-d kSPR query with the RTOPK sweep, as a :class:`KSPRResult`.
+
+    The transformed preference space for ``d = 2`` is the segment ``w_1`` in
+    ``(0, 1)`` with ``w_2 = 1 - w_1``; the sweep variable ``a`` coincides with
+    ``w_1``, so intervals translate directly into one-dimensional regions.
+    """
+    started = time.perf_counter()
+    focal = np.asarray(focal, dtype=float)
+    stats = QueryStats(algorithm="RTOPK")
+    partition = dataset.partition_by_focal(focal)
+    stats.competitor_records = partition.competitors.cardinality
+    stats.dominator_records = partition.dominators
+    stats.processed_records = partition.competitors.cardinality
+
+    regions = []
+    for low, high, rank in rtopk_intervals(dataset, focal, k):
+        midpoint = np.array([(low + high) / 2.0])
+        # Express the interval (low, high) as two synthetic halfspaces over the
+        # single transformed axis so that membership tests and geometry work
+        # exactly as for CellTree-produced regions.
+        above_low = Halfspace(Hyperplane(np.array([1.0]), low), "+")
+        below_high = Halfspace(Hyperplane(np.array([1.0]), high), "-")
+        region = PreferenceRegion(
+            halfspaces=(above_low, below_high),
+            rank=rank,
+            dimensionality=1,
+            witness=midpoint,
+            geometry=RegionGeometry(
+                vertices=np.array([[low], [high]]),
+                volume=high - low,
+                interior_point=midpoint,
+            ),
+        )
+        regions.append(region)
+
+    result = KSPRResult(focal, k, regions, stats)
+    stats.response_seconds = time.perf_counter() - started
+    return result

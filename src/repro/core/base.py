@@ -1,0 +1,180 @@
+"""Shared plumbing of the kSPR algorithms (CTA, P-CTA, LP-CTA and variants).
+
+Every algorithm follows the same outer structure:
+
+1. validate the query and split the dataset into competitors / dominators /
+   dominated records with respect to the focal record (Section 3.1);
+2. build an aggregate R-tree over the competitors;
+3. run the algorithm-specific processing over a :class:`~repro.core.celltree.CellTree`;
+4. finalise the result cells into :class:`~repro.core.result.PreferenceRegion`
+   objects (exact geometry) and collect statistics.
+
+:class:`QueryContext` carries that shared state; :func:`prepare_context` and
+:func:`build_result` implement steps 1–2 and 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidQueryError
+from ..geometry.halfspace import Halfspace, Hyperplane, build_hyperplane
+from ..geometry.linprog import LPCounters
+from ..index.rtree import AggregateRTree
+from ..records import Dataset, FocalPartition
+from .celltree import CellTree
+from .result import KSPRResult, PreferenceRegion, QueryStats
+
+__all__ = ["QueryContext", "ReportedCell", "prepare_context", "build_result"]
+
+#: Identifier used for the two preference-space representations.
+TRANSFORMED_SPACE = "transformed"
+ORIGINAL_SPACE = "original"
+
+
+@dataclass
+class ReportedCell:
+    """A cell accepted into the kSPR answer, pending finalisation."""
+
+    halfspaces: tuple[Halfspace, ...]
+    rank: int
+    witness: np.ndarray | None
+
+
+@dataclass
+class QueryContext:
+    """All shared state needed while answering one kSPR query."""
+
+    dataset: Dataset
+    focal: np.ndarray
+    k: int
+    effective_k: int
+    partition: FocalPartition
+    competitors: Dataset
+    tree: AggregateRTree
+    stats: QueryStats
+    counters: LPCounters
+    space: str = TRANSFORMED_SPACE
+    started_at: float = field(default_factory=time.perf_counter)
+    _hyperplanes: dict[int, Hyperplane] = field(default_factory=dict)
+
+    @property
+    def data_dimensionality(self) -> int:
+        """Dimensionality ``d`` of the data records."""
+        return self.dataset.dimensionality
+
+    @property
+    def cell_dimensionality(self) -> int:
+        """Dimensionality of the space the CellTree operates in.
+
+        ``d - 1`` for the transformed space (Section 3.2), ``d`` for the
+        original-space variants of Appendix C.
+        """
+        if self.space == TRANSFORMED_SPACE:
+            return self.data_dimensionality - 1
+        return self.data_dimensionality
+
+    def new_celltree(self) -> CellTree:
+        """A fresh CellTree wired to this query's counters and effective k."""
+        return CellTree(self.cell_dimensionality, self.effective_k, counters=self.counters)
+
+    def hyperplane_for(self, record_id: int) -> Hyperplane:
+        """The (cached) hyperplane ``S(record) = S(focal)`` for a competitor."""
+        hyperplane = self._hyperplanes.get(record_id)
+        if hyperplane is None:
+            values = self.competitors.record_by_id(record_id).values
+            if self.space == TRANSFORMED_SPACE:
+                hyperplane = build_hyperplane(values, self.focal, record_id=record_id)
+            else:
+                hyperplane = Hyperplane(values - self.focal, 0.0, record_id=record_id)
+            self._hyperplanes[record_id] = hyperplane
+        return hyperplane
+
+    def record_values(self, record_id: int) -> np.ndarray:
+        """Attribute vector of a competitor record."""
+        return self.competitors.record_by_id(record_id).values
+
+
+def prepare_context(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    algorithm: str,
+    space: str = TRANSFORMED_SPACE,
+    fanout: int = 32,
+) -> QueryContext:
+    """Validate inputs and assemble the shared query state."""
+    if k < 1:
+        raise InvalidQueryError("k must be a positive integer")
+    if space not in (TRANSFORMED_SPACE, ORIGINAL_SPACE):
+        raise InvalidQueryError(f"unknown preference-space mode {space!r}")
+    focal_array = np.asarray(focal, dtype=float)
+    if focal_array.ndim != 1:
+        raise InvalidQueryError("the focal record must be a 1-D vector")
+    if focal_array.shape[0] != dataset.dimensionality:
+        raise InvalidQueryError("focal record dimensionality does not match the dataset")
+    if dataset.dimensionality < 2:
+        raise InvalidQueryError("kSPR requires at least two data attributes")
+
+    stats = QueryStats(algorithm=algorithm)
+    counters = stats.lp
+
+    partition = dataset.partition_by_focal(focal_array)
+    competitors = partition.competitors
+    stats.competitor_records = competitors.cardinality
+    stats.dominator_records = partition.dominators
+
+    build_start = time.perf_counter()
+    tree = AggregateRTree(competitors, fanout=fanout)
+    stats.index_build_seconds = time.perf_counter() - build_start
+
+    return QueryContext(
+        dataset=dataset,
+        focal=focal_array,
+        k=k,
+        effective_k=partition.effective_k(k),
+        partition=partition,
+        competitors=competitors,
+        tree=tree,
+        stats=stats,
+        counters=counters,
+        space=space,
+    )
+
+
+def build_result(
+    context: QueryContext,
+    reported: Sequence[ReportedCell],
+    celltree: CellTree | None,
+    finalize_geometry: bool = True,
+) -> KSPRResult:
+    """Turn reported cells into the final :class:`KSPRResult` (with geometry)."""
+    stats = context.stats
+    if celltree is not None:
+        stats.celltree_nodes = celltree.node_count()
+        stats.space_bytes = celltree.memory_bytes() + context.tree.memory_bytes()
+    stats.index_node_accesses = context.tree.io.node_reads
+
+    regions = [
+        PreferenceRegion(
+            halfspaces=cell.halfspaces,
+            rank=cell.rank + context.partition.dominators,
+            dimensionality=context.cell_dimensionality,
+            witness=cell.witness,
+            space=context.space,
+        )
+        for cell in reported
+    ]
+    result = KSPRResult(context.focal, context.k, regions, stats)
+
+    if finalize_geometry and context.space == TRANSFORMED_SPACE:
+        finalize_start = time.perf_counter()
+        result.finalize_all()
+        stats.add_phase("finalization", time.perf_counter() - finalize_start)
+
+    stats.response_seconds = time.perf_counter() - context.started_at
+    return result

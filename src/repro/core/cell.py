@@ -1,0 +1,72 @@
+"""Implicit cell representation used by the CellTree algorithms.
+
+A *cell* of the hyperplane arrangement is never materialised geometrically
+while the algorithms run (Section 4.1): it is represented implicitly by its
+defining halfspaces.  :class:`CellView` is a read-only snapshot of one
+CellTree leaf assembled during a traversal; it exposes exactly the pieces of
+information the algorithms in Sections 4–6 need:
+
+* ``bounding_halfspaces`` — the halfspaces labelling the edges on the root
+  path.  By Lemma 2 these are the only candidates for *bounding* halfspaces,
+  so they are the constraint set handed to the LP solver and to the exact
+  geometry finaliser.
+* ``rank`` — ``1 +`` the number of positive halfspaces covering the cell
+  (edge labels plus cover sets, Lemma 1), restricted to the records inserted
+  so far.
+* ``pivot_ids`` / ``non_pivot_ids`` — the processed records contributing
+  negative / positive halfspaces, used by P-CTA's Lemma 5 reporting rule.
+* ``witness`` — a cached interior point (Section 4.3.2), when available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..geometry.halfspace import Halfspace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .celltree import CellTreeNode
+
+__all__ = ["CellView"]
+
+
+@dataclass(frozen=True)
+class CellView:
+    """Read-only snapshot of one active CellTree leaf."""
+
+    node: "CellTreeNode"
+    bounding_halfspaces: tuple[Halfspace, ...]
+    covering_halfspaces: tuple[Halfspace, ...]
+    rank: int
+    witness: np.ndarray | None
+
+    @property
+    def defining_halfspaces(self) -> tuple[Halfspace, ...]:
+        """Every halfspace known to cover the cell (edges plus cover sets)."""
+        return self.bounding_halfspaces + self.covering_halfspaces
+
+    @property
+    def pivot_ids(self) -> frozenset[int]:
+        """Processed records contributing a *negative* halfspace to the cell."""
+        return frozenset(
+            halfspace.record_id
+            for halfspace in self.defining_halfspaces
+            if not halfspace.is_positive and halfspace.record_id >= 0
+        )
+
+    @property
+    def non_pivot_ids(self) -> frozenset[int]:
+        """Processed records contributing a *positive* halfspace to the cell."""
+        return frozenset(
+            halfspace.record_id
+            for halfspace in self.defining_halfspaces
+            if halfspace.is_positive and halfspace.record_id >= 0
+        )
+
+    @property
+    def negative_record_ids(self) -> frozenset[int]:
+        """Alias of :attr:`pivot_ids` (paper terminology differs per section)."""
+        return self.pivot_ids

@@ -1,0 +1,399 @@
+"""The CellTree: incremental, implicit maintenance of the hyperplane arrangement.
+
+The CellTree (Section 4) is a binary tree whose leaves correspond to the cells
+of the arrangement induced by the hyperplanes inserted so far.  Nodes never
+store exact geometry; instead
+
+* the edge from a node to each child is labelled with one side (halfspace) of
+  the hyperplane that split the node, and
+* every node keeps a *cover set*: halfspaces that were found to cover the node
+  entirely at insertion time (cases I/II of the insertion algorithm).
+
+The rank of a node is ``1 +`` the number of positive halfspaces among its edge
+labels and the cover sets on its root path (Lemma 1).  A node whose rank
+exceeds ``k`` is eliminated together with its subtree.
+
+Optimisations implemented here, matching the paper:
+
+* **Lemma 2** — only the edge labels on the root path participate in LP
+  feasibility tests (cover-set halfspaces are inconsequential).
+* **Witness caching (Section 4.3.2)** — the optimiser of the first feasible LP
+  run on a node is stored; during later insertions an ``O(d)`` point-side test
+  often avoids one of the two feasibility LPs.
+* **Dominance shortcut (Section 5)** — when a record about to be inserted is
+  dominated by a record contributing a negative halfspace on the node's path,
+  its negative halfspace covers the node and no LP is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..geometry.halfspace import Halfspace, Hyperplane
+from ..geometry.linprog import LPCounters, cell_feasible
+from .cell import CellView
+
+__all__ = ["CellTreeNode", "CellTree", "InsertionStats"]
+
+
+@dataclass
+class InsertionStats:
+    """Counters describing the work done by hyperplane insertions."""
+
+    hyperplanes_inserted: int = 0
+    nodes_created: int = 1  # the root
+    leaves_split: int = 0
+    nodes_eliminated: int = 0
+    cover_set_additions: int = 0
+    witness_shortcuts: int = 0
+    dominance_shortcuts: int = 0
+    degenerate_hyperplanes: int = 0
+
+
+class CellTreeNode:
+    """One node of the CellTree (an implicit region of the preference space)."""
+
+    __slots__ = (
+        "parent",
+        "edge",
+        "left",
+        "right",
+        "cover",
+        "positive_cover",
+        "eliminated",
+        "reported",
+        "witness",
+        "witnesses",
+        "depth",
+        "bounds_checked",
+    )
+
+    def __init__(self, parent: "CellTreeNode | None", edge: Halfspace | None) -> None:
+        self.parent = parent
+        #: Halfspace labelling the edge from ``parent`` to this node.
+        self.edge = edge
+        self.left: CellTreeNode | None = None
+        self.right: CellTreeNode | None = None
+        #: Halfspaces found to cover this node after its creation (cases I/II).
+        self.cover: list[Halfspace] = []
+        #: Number of positive halfspaces in :attr:`cover`.
+        self.positive_cover = 0
+        self.eliminated = False
+        self.reported = False
+        #: Cached interior witness point (Section 4.3.2).
+        self.witness: np.ndarray | None = None
+        #: Additional cached interior points (generalised witness cache): any
+        #: point known to lie inside the node can settle later side tests in
+        #: O(d) and is inherited by the child whose edge halfspace contains it.
+        self.witnesses: list[np.ndarray] = []
+        self.depth = 0 if parent is None else parent.depth + 1
+        #: Whether LP-CTA has already computed look-ahead bounds for this leaf.
+        self.bounds_checked = False
+
+    #: Maximum number of cached witness points kept per node.
+    MAX_WITNESSES = 12
+
+    def add_witness(self, point: np.ndarray | None) -> None:
+        """Cache an interior point of this node (bounded-size cache)."""
+        if point is None:
+            return
+        if self.witness is None:
+            self.witness = point
+        if len(self.witnesses) < self.MAX_WITNESSES:
+            self.witnesses.append(point)
+
+    # ------------------------------------------------------------------ #
+    # structural helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has not been split."""
+        return self.left is None and self.right is None
+
+    @property
+    def is_active(self) -> bool:
+        """True when the node still participates in processing."""
+        return not self.eliminated and not self.reported
+
+    @property
+    def local_positive(self) -> int:
+        """Positive halfspaces contributed by this node (edge label + cover set)."""
+        edge_positive = 1 if self.edge is not None and self.edge.is_positive else 0
+        return edge_positive + self.positive_cover
+
+    def path_halfspaces(self) -> list[Halfspace]:
+        """Edge labels on the path from the root to this node (set ``Psi_B``)."""
+        labels: list[Halfspace] = []
+        node: CellTreeNode | None = self
+        while node is not None:
+            if node.edge is not None:
+                labels.append(node.edge)
+            node = node.parent
+        labels.reverse()
+        return labels
+
+    def cover_halfspaces(self) -> list[Halfspace]:
+        """Cover-set halfspaces of this node and all its ancestors."""
+        halfspaces: list[Halfspace] = []
+        node: CellTreeNode | None = self
+        while node is not None:
+            halfspaces.extend(node.cover)
+            node = node.parent
+        return halfspaces
+
+    def rank(self) -> int:
+        """Rank of the node w.r.t. the hyperplanes inserted so far (Lemma 1)."""
+        total = 0
+        node: CellTreeNode | None = self
+        while node is not None:
+            total += node.local_positive
+            node = node.parent
+        return total + 1
+
+    def negative_record_ids(self) -> set[int]:
+        """Records contributing negative halfspaces to this node's full set."""
+        ids: set[int] = set()
+        node: CellTreeNode | None = self
+        while node is not None:
+            if node.edge is not None and not node.edge.is_positive:
+                ids.add(node.edge.record_id)
+            for halfspace in node.cover:
+                if not halfspace.is_positive:
+                    ids.add(halfspace.record_id)
+            node = node.parent
+        return ids
+
+
+class CellTree:
+    """Incrementally maintained arrangement of record-induced hyperplanes."""
+
+    def __init__(self, dimensionality: int, k: int, counters: LPCounters | None = None) -> None:
+        if dimensionality < 1:
+            raise ValueError("transformed preference space needs dimensionality >= 1")
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.dimensionality = dimensionality
+        self.k = k
+        self.counters = counters if counters is not None else LPCounters()
+        self.stats = InsertionStats()
+        self.root = CellTreeNode(parent=None, edge=None)
+        # The root's witness: centroid of the simplex, always interior.
+        self.root.add_witness(np.full(dimensionality, 1.0 / (dimensionality + 1.0)))
+
+    # ------------------------------------------------------------------ #
+    # insertion (Algorithm 1 / Algorithm 2 routine)
+    # ------------------------------------------------------------------ #
+    def insert(self, hyperplane: Hyperplane, dominator_ids: set[int] | None = None) -> None:
+        """Insert one record-induced hyperplane into the tree.
+
+        ``dominator_ids`` is the set of already-processed records that dominate
+        the record inducing ``hyperplane`` (the set ``Dr`` of Algorithm 2).
+        When provided, the dominance shortcut of Section 5 is applied.
+        """
+        self.stats.hyperplanes_inserted += 1
+        if hyperplane.is_degenerate:
+            # The score difference is constant over the whole space: the
+            # hyperplane covers the root with a single sign.
+            self.stats.degenerate_hyperplanes += 1
+            sign = "+" if hyperplane.offset < 0 else "-"
+            self._add_to_cover(self.root, Halfspace(hyperplane, sign), accumulated=0)
+            return
+        self._insert(self.root, hyperplane, dominator_ids or set(), accumulated=0)
+
+    def _insert(
+        self,
+        node: CellTreeNode,
+        hyperplane: Hyperplane,
+        dominator_ids: set[int],
+        accumulated: int,
+    ) -> None:
+        """Recursive top-down insertion (cases I, II, III)."""
+        if not node.is_active:
+            return
+        accumulated += node.local_positive
+        if accumulated + 1 > self.k:
+            self._eliminate(node)
+            return
+        if not node.is_leaf and self._children_inactive(node):
+            self._eliminate(node)
+            return
+
+        # Dominance shortcut (Section 5): if a processed dominator of the new
+        # record contributes a negative halfspace to this node, the new
+        # record's negative halfspace covers the node as well (Lemma 4).
+        if dominator_ids and (dominator_ids & node.negative_record_ids()):
+            self.stats.dominance_shortcuts += 1
+            self._add_to_cover(node, hyperplane.negative(), accumulated - node.local_positive)
+            return
+
+        positive = hyperplane.positive()
+        negative = hyperplane.negative()
+        path = node.path_halfspaces()
+
+        # Witness shortcut (Section 4.3.2, generalised to a small cache of
+        # interior points): an O(d) side test may settle one or both of the
+        # feasibility questions without an LP call.
+        negative_side_nonempty = False
+        positive_side_nonempty = False
+        negative_witness: np.ndarray | None = None
+        positive_witness: np.ndarray | None = None
+        for witness in node.witnesses:
+            if negative_witness is None and negative.contains(witness):
+                negative_side_nonempty = True
+                negative_witness = witness
+                self.stats.witness_shortcuts += 1
+            elif positive_witness is None and positive.contains(witness):
+                positive_side_nonempty = True
+                positive_witness = witness
+                self.stats.witness_shortcuts += 1
+            if negative_witness is not None and positive_witness is not None:
+                break
+
+        # Case I: node entirely inside the positive halfspace?
+        if not negative_side_nonempty:
+            outcome = cell_feasible(path + [negative], self.dimensionality, self.counters)
+            if outcome.feasible:
+                negative_side_nonempty = True
+                negative_witness = outcome.witness
+                node.add_witness(outcome.witness)
+            else:
+                self._add_to_cover(node, positive, accumulated - node.local_positive)
+                return
+
+        # Case II: node entirely inside the negative halfspace?
+        if not positive_side_nonempty:
+            outcome = cell_feasible(path + [positive], self.dimensionality, self.counters)
+            if outcome.feasible:
+                positive_side_nonempty = True
+                positive_witness = outcome.witness
+                node.add_witness(outcome.witness)
+            else:
+                self._add_to_cover(node, negative, accumulated - node.local_positive)
+                return
+
+        # Case III: the hyperplane cuts through the node.
+        if node.is_leaf:
+            self._split(node, negative, positive, negative_witness, positive_witness)
+            return
+        self._insert(node.left, hyperplane, dominator_ids, accumulated)
+        self._insert(node.right, hyperplane, dominator_ids, accumulated)
+        if self._children_inactive(node):
+            self._eliminate(node)
+
+    # ------------------------------------------------------------------ #
+    # node-level operations
+    # ------------------------------------------------------------------ #
+    def _children_inactive(self, node: CellTreeNode) -> bool:
+        left_done = node.left is None or not node.left.is_active
+        right_done = node.right is None or not node.right.is_active
+        return not node.is_leaf and left_done and right_done
+
+    def _add_to_cover(self, node: CellTreeNode, halfspace: Halfspace, accumulated: int) -> None:
+        """Add ``halfspace`` to the node's cover set and re-check its rank."""
+        node.cover.append(halfspace)
+        self.stats.cover_set_additions += 1
+        if halfspace.is_positive:
+            node.positive_cover += 1
+            if accumulated + node.local_positive + 1 > self.k:
+                self._eliminate(node)
+
+    def _split(
+        self,
+        leaf: CellTreeNode,
+        negative: Halfspace,
+        positive: Halfspace,
+        negative_witness: np.ndarray | None,
+        positive_witness: np.ndarray | None,
+    ) -> None:
+        """Split a leaf into two children labelled with the two halfspaces."""
+        left = CellTreeNode(parent=leaf, edge=negative)
+        right = CellTreeNode(parent=leaf, edge=positive)
+        left.add_witness(negative_witness)
+        right.add_witness(positive_witness)
+        for witness in leaf.witnesses:
+            if negative.contains(witness):
+                left.add_witness(witness)
+            elif positive.contains(witness):
+                right.add_witness(witness)
+        leaf.left = left
+        leaf.right = right
+        self.stats.nodes_created += 2
+        self.stats.leaves_split += 1
+
+    def _eliminate(self, node: CellTreeNode) -> None:
+        if node.eliminated:
+            return
+        node.eliminated = True
+        self.stats.nodes_eliminated += 1
+
+    def eliminate(self, node: CellTreeNode) -> None:
+        """Eliminate a node (and, implicitly, its subtree) from processing."""
+        self._eliminate(node)
+
+    def report(self, node: CellTreeNode) -> None:
+        """Mark a leaf as reported (removed from further processing)."""
+        node.reported = True
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    @property
+    def is_exhausted(self) -> bool:
+        """True when no active leaf remains anywhere in the tree."""
+        return next(self.iter_active_leaves(), None) is None
+
+    def node_count(self) -> int:
+        """Total number of nodes ever created."""
+        return self.stats.nodes_created
+
+    def iter_active_leaves(self) -> Iterator[CellTreeNode]:
+        """Yield every leaf that is neither eliminated nor reported."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.is_active:
+                continue
+            if node.is_leaf:
+                yield node
+                continue
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
+    def view(self, node: CellTreeNode) -> CellView:
+        """Build a :class:`CellView` snapshot for ``node``."""
+        return CellView(
+            node=node,
+            bounding_halfspaces=tuple(node.path_halfspaces()),
+            covering_halfspaces=tuple(node.cover_halfspaces()),
+            rank=node.rank(),
+            witness=node.witness,
+        )
+
+    def active_views(self, predicate: Callable[[CellView], bool] | None = None) -> list[CellView]:
+        """Snapshots of all active leaves, optionally filtered by ``predicate``."""
+        views = [self.view(leaf) for leaf in self.iter_active_leaves()]
+        if predicate is None:
+            return views
+        return [view for view in views if predicate(view)]
+
+    def memory_bytes(self) -> int:
+        """Rough size of the tree in bytes (space-consumption experiments)."""
+        per_node = 120  # object overhead + slots
+        per_halfspace_ref = 16
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += per_node + per_halfspace_ref * (1 + len(node.cover))
+            if node.witness is not None:
+                total += node.witness.nbytes
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total

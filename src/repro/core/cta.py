@@ -1,0 +1,76 @@
+"""CTA — the basic Cell Tree Approach (Section 4, Algorithm 1).
+
+CTA maps every competitor record into a hyperplane and inserts the hyperplanes
+one by one into a :class:`~repro.core.celltree.CellTree`.  Nodes whose rank
+exceeds ``k`` are eliminated during insertion; when all hyperplanes have been
+inserted (or the whole tree has been eliminated), the surviving leaves with
+rank at most ``k`` form the kSPR answer.
+
+CTA applies the cell-representation, infeasible-cell detection and insertion
+optimisations of Section 4 (Lemma 2, witness caching) but no record ordering
+or look-ahead — those are the contributions of P-CTA and LP-CTA.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..records import Dataset
+from .base import ReportedCell, build_result, prepare_context
+from .result import KSPRResult
+
+__all__ = ["cta"]
+
+
+def cta(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    space: str = "transformed",
+    finalize_geometry: bool = True,
+) -> KSPRResult:
+    """Answer a kSPR query with the basic Cell Tree Approach.
+
+    Parameters
+    ----------
+    dataset:
+        The set of competing options.
+    focal:
+        The focal record ``p`` (need not belong to ``dataset``).
+    k:
+        Shortlist size.
+    space:
+        ``"transformed"`` (default, Section 3.2) or ``"original"`` for the
+        Appendix C variant operating on polyhedral cones.
+    finalize_geometry:
+        Whether to run the exact-geometry finalisation step on result regions.
+    """
+    context = prepare_context(dataset, focal, k, algorithm="CTA", space=space)
+    if context.effective_k < 1:
+        return build_result(context, [], None, finalize_geometry)
+
+    tree = context.new_celltree()
+    insertion_start = time.perf_counter()
+    for record in context.competitors:
+        context.stats.processed_records += 1
+        tree.insert(context.hyperplane_for(record.record_id))
+        if tree.is_exhausted:
+            break
+    context.stats.add_phase("insertion", time.perf_counter() - insertion_start)
+
+    reported: list[ReportedCell] = []
+    for leaf in tree.iter_active_leaves():
+        rank = leaf.rank()
+        if rank <= context.effective_k:
+            view = tree.view(leaf)
+            reported.append(
+                ReportedCell(
+                    halfspaces=view.bounding_halfspaces,
+                    rank=rank,
+                    witness=view.witness,
+                )
+            )
+    return build_result(context, reported, tree, finalize_geometry)

@@ -1,0 +1,68 @@
+"""Original-space variants OP-CTA and OLP-CTA (Appendix C).
+
+In the original ``d``-dimensional preference space the hyperplane
+``S(r) = S(p)`` passes through the origin, so arrangement cells are polyhedral
+cones.  Because cones are scale invariant, intersecting them with the open
+simplex ``{w > 0, sum w < 1}`` does not change which cells are empty or their
+ranks; the CellTree machinery can therefore be reused verbatim with
+``d``-dimensional hyperplanes of the form ``(r - p) . w = 0``.
+
+The look-ahead bounds need redesigning (every cell contains the origin, so
+plain score intervals degenerate): OLP-CTA bounds the sign of
+``S(r) - S(p)`` instead, and the fast bounds of Section 6.3 do not apply at
+all — exactly the limitations the paper describes.  These variants exist to
+reproduce the Appendix C comparison; the transformed-space algorithms are the
+ones intended for real use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..records import Dataset
+from .base import ORIGINAL_SPACE, prepare_context
+from .bounds import OriginalSpaceBoundEvaluator
+from .cta import cta
+from .progressive import run_progressive
+from .result import KSPRResult
+
+__all__ = ["op_cta", "olp_cta"]
+
+
+def op_cta(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+) -> KSPRResult:
+    """P-CTA running directly in the original (non-reduced) preference space."""
+    context = prepare_context(dataset, focal, k, algorithm="OP-CTA", space=ORIGINAL_SPACE)
+    return run_progressive(context, bound_evaluator=None, finalize_geometry=False)
+
+
+def olp_cta(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+) -> KSPRResult:
+    """LP-CTA running directly in the original (non-reduced) preference space."""
+    context = prepare_context(dataset, focal, k, algorithm="OLP-CTA", space=ORIGINAL_SPACE)
+    if context.effective_k < 1:
+        return run_progressive(context, bound_evaluator=None, finalize_geometry=False)
+    evaluator = OriginalSpaceBoundEvaluator(
+        tree=context.tree,
+        focal=context.focal,
+        dimensionality=context.cell_dimensionality,
+        counters=context.counters,
+    )
+    return run_progressive(context, bound_evaluator=evaluator, finalize_geometry=False)
+
+
+def o_cta(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+) -> KSPRResult:
+    """Basic CTA running directly in the original preference space."""
+    return cta(dataset, focal, k, space=ORIGINAL_SPACE, finalize_geometry=False)

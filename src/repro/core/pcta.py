@@ -1,0 +1,37 @@
+"""P-CTA — the Progressive Cell Tree Approach (Section 5, Algorithm 2).
+
+P-CTA improves on CTA by
+
+* processing records in *skyline batches* so that a record is only processed
+  after every record dominating it (Invariant 1),
+* short-circuiting hyperplane insertion through the dominance graph
+  (a dominated record's negative halfspace covers any node already covered by
+  its dominator's negative halfspace),
+* reporting cells *progressively*: a promising cell whose pivots dominate all
+  unprocessed records can never change again (Lemma 5) and is emitted before
+  the algorithm terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..records import Dataset
+from .base import prepare_context
+from .progressive import run_progressive
+from .result import KSPRResult
+
+__all__ = ["pcta"]
+
+
+def pcta(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    finalize_geometry: bool = True,
+) -> KSPRResult:
+    """Answer a kSPR query with the Progressive Cell Tree Approach."""
+    context = prepare_context(dataset, focal, k, algorithm="P-CTA")
+    return run_progressive(context, bound_evaluator=None, finalize_geometry=finalize_geometry)

@@ -1,0 +1,210 @@
+"""Shared progressive processing loop of P-CTA and LP-CTA (Algorithms 2 and 3).
+
+Both algorithms iterate over *batches* of records chosen so that a record is
+never processed before all of its dominators (Invariant 1):
+
+1. the first batch is the skyline of the competitor set;
+2. each batch's hyperplanes are inserted into the CellTree (with the
+   dominance-graph shortcut of Section 5);
+3. promising leaves (rank <= k) are examined: a leaf whose pivots dominate
+   every unprocessed record can be reported immediately (Lemma 5); leaves that
+   cannot be reported contribute their non-pivot records to a union ``NP``;
+4. optionally — this is what turns P-CTA into LP-CTA — look-ahead rank bounds
+   prune or report leaves before step 3;
+5. the next batch is the set of unprocessed records in the skyline of the
+   dataset with ``NP`` ignored.
+
+The loop ends when the CellTree has no active leaves left or every competitor
+has been processed (at which point surviving leaves have exact ranks).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+import numpy as np
+
+from ..index.dominance import DominanceGraph
+from ..index.rtree import AggregateRTree, RTreeNode
+from ..index.skyline import skyline
+from .base import QueryContext, ReportedCell, build_result
+from .bounds import RankBounds
+from .cell import CellView
+from .celltree import CellTree
+from .result import KSPRResult
+
+__all__ = ["BoundEvaluator", "run_progressive", "exists_unprocessed_not_dominated"]
+
+
+class BoundEvaluator(Protocol):
+    """Anything that can bracket the rank of the focal record within a cell."""
+
+    def evaluate(self, cell: CellView, k: int) -> RankBounds:  # pragma: no cover - protocol
+        ...
+
+
+def exists_unprocessed_not_dominated(
+    tree: AggregateRTree,
+    pivot_values: np.ndarray,
+    processed_ids: set[int],
+) -> bool:
+    """Is there an unprocessed record that no pivot dominates?
+
+    This is the reporting test of Algorithm 2 (line 16): if the answer is
+    *no*, Lemma 5 guarantees no unprocessed record can change the cell's rank
+    or extent and the cell may be reported immediately.  The aggregate R-tree
+    is used to discard whole subtrees whose MBR is dominated by a pivot.
+    """
+    dataset = tree.dataset
+    if len(processed_ids) >= dataset.cardinality:
+        return False
+    has_pivots = pivot_values.size > 0
+
+    def subtree_dominated(corner: np.ndarray) -> bool:
+        if not has_pivots:
+            return False
+        geq = np.all(pivot_values >= corner, axis=1)
+        gt = np.any(pivot_values > corner, axis=1)
+        return bool(np.any(geq & gt))
+
+    stack: list[RTreeNode] = [tree.root]
+    while stack:
+        node = tree.visit(stack.pop())
+        if subtree_dominated(node.mbr.high):
+            continue
+        if node.is_leaf:
+            for position in node.record_positions:
+                record_id = int(dataset.ids[int(position)])
+                if record_id in processed_ids:
+                    continue
+                values = dataset.values[int(position)]
+                if not subtree_dominated(values):
+                    return True
+            continue
+        stack.extend(node.children)
+    return False
+
+
+def run_progressive(
+    context: QueryContext,
+    bound_evaluator: BoundEvaluator | None = None,
+    finalize_geometry: bool = True,
+) -> KSPRResult:
+    """Run the progressive loop shared by P-CTA (no bounds) and LP-CTA (with bounds)."""
+    if context.effective_k < 1:
+        return build_result(context, [], None, finalize_geometry)
+
+    k = context.effective_k
+    tree = context.new_celltree()
+    graph = DominanceGraph(context.competitors)
+    processed: set[int] = set()
+    reported: list[ReportedCell] = []
+    total_competitors = context.competitors.cardinality
+
+    insertion_seconds = 0.0
+    bounds_seconds = 0.0
+    lookahead_seconds = 0.0
+
+    if total_competitors == 0:
+        # No competitor can ever out-score the focal record: the whole
+        # preference space is the answer.
+        root_view = tree.view(tree.root)
+        reported.append(ReportedCell(root_view.bounding_halfspaces, 1, root_view.witness))
+        return build_result(context, reported, tree, finalize_geometry)
+
+    batch = skyline(context.tree)
+    while batch:
+        context.stats.batches += 1
+
+        # --- insert the batch (Invariant 1 holds by construction) ---------
+        phase_start = time.perf_counter()
+        for record_id in batch:
+            dominators = graph.dominators_of(record_id)
+            context.stats.processed_records += 1
+            tree.insert(context.hyperplane_for(record_id), dominators)
+            graph.add(record_id)
+            processed.add(record_id)
+        insertion_seconds += time.perf_counter() - phase_start
+
+        if tree.is_exhausted:
+            break
+
+        # --- collect promising leaves, eliminating stale ones --------------
+        promising: list[CellView] = []
+        for leaf in list(tree.iter_active_leaves()):
+            rank = leaf.rank()
+            if rank > k:
+                tree.eliminate(leaf)
+            else:
+                promising.append(tree.view(leaf))
+
+        # --- look-ahead rank bounds (LP-CTA only) --------------------------
+        # Following Section 6.4, bounds are computed once per leaf, right after
+        # the batch that created it; surviving leaves are not re-evaluated.
+        if bound_evaluator is not None and promising:
+            phase_start = time.perf_counter()
+            undecided: list[CellView] = []
+            for view in promising:
+                if view.node.bounds_checked:
+                    undecided.append(view)
+                    continue
+                view.node.bounds_checked = True
+                bounds = bound_evaluator.evaluate(view, k)
+                if bounds.lower > k:
+                    tree.eliminate(view.node)
+                    context.stats.cells_pruned_by_bounds += 1
+                elif bounds.upper <= k:
+                    reported.append(
+                        ReportedCell(view.bounding_halfspaces, bounds.upper, view.witness)
+                    )
+                    tree.report(view.node)
+                    context.stats.cells_reported_early += 1
+                else:
+                    undecided.append(view)
+            promising = undecided
+            bounds_seconds += time.perf_counter() - phase_start
+
+        if not promising:
+            break
+        if len(processed) >= total_competitors:
+            # Every competitor has been processed: surviving leaf ranks are exact.
+            for view in promising:
+                reported.append(ReportedCell(view.bounding_halfspaces, view.rank, view.witness))
+                tree.report(view.node)
+            break
+
+        # --- Lemma-5 reporting and the non-pivot union ---------------------
+        phase_start = time.perf_counter()
+        non_pivot_union: set[int] = set()
+        for view in promising:
+            pivot_ids = view.pivot_ids
+            pivot_values = (
+                np.vstack([context.record_values(record_id) for record_id in pivot_ids])
+                if pivot_ids
+                else np.empty((0, context.data_dimensionality))
+            )
+            if not exists_unprocessed_not_dominated(context.tree, pivot_values, processed):
+                reported.append(ReportedCell(view.bounding_halfspaces, view.rank, view.witness))
+                tree.report(view.node)
+                context.stats.cells_reported_early += 1
+            else:
+                non_pivot_union |= view.non_pivot_ids
+        lookahead_seconds += time.perf_counter() - phase_start
+
+        if tree.is_exhausted:
+            break
+
+        # --- choose the next batch (Section 5) -----------------------------
+        next_skyline = skyline(context.tree, exclude_ids=non_pivot_union)
+        batch = [record_id for record_id in next_skyline if record_id not in processed]
+        if not batch:
+            # Fall back to the skyline of the unprocessed records: Invariant 1
+            # still holds and progress is guaranteed.
+            batch = skyline(context.tree, exclude_ids=processed)
+
+    context.stats.add_phase("insertion", insertion_seconds)
+    if bound_evaluator is not None:
+        context.stats.add_phase("bounds", bounds_seconds)
+    context.stats.add_phase("lookahead", lookahead_seconds)
+    return build_result(context, reported, tree, finalize_geometry)

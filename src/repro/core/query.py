@@ -1,0 +1,92 @@
+"""High-level kSPR query interface.
+
+:func:`kspr` is the main entry point of the library: it dispatches to one of
+the algorithms (LP-CTA by default, the paper's best method) and returns a
+:class:`~repro.core.result.KSPRResult` containing the preference regions,
+their exact geometry and the query statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidQueryError
+from ..records import Dataset
+from .bounds import BoundsMode
+from .cta import cta
+from .lpcta import lpcta
+from .original_space import olp_cta, op_cta
+from .pcta import pcta
+from .result import KSPRResult
+
+__all__ = ["kspr", "available_methods"]
+
+_METHODS: dict[str, Callable[..., KSPRResult]] = {
+    "cta": cta,
+    "pcta": pcta,
+    "p-cta": pcta,
+    "lpcta": lpcta,
+    "lp-cta": lpcta,
+    "op-cta": op_cta,
+    "olp-cta": olp_cta,
+}
+
+
+def available_methods() -> list[str]:
+    """Names accepted by the ``method`` argument of :func:`kspr` (aliases included)."""
+    return sorted(_METHODS)
+
+
+def kspr(
+    dataset: Dataset | np.ndarray | Sequence[Sequence[float]],
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    method: str = "lpcta",
+    **options,
+) -> KSPRResult:
+    """Answer a k-Shortlist Preference Region query.
+
+    Parameters
+    ----------
+    dataset:
+        The competing options, either as a :class:`~repro.records.Dataset` or
+        as a raw ``(n, d)`` array-like.
+    focal:
+        The focal record ``p`` whose impact regions are sought.
+    k:
+        Shortlist size: the regions where ``p`` ranks among the top-``k`` are
+        reported.
+    method:
+        ``"lpcta"`` (default), ``"pcta"``, ``"cta"``, ``"op-cta"`` or
+        ``"olp-cta"``.
+    options:
+        Forwarded to the selected algorithm (e.g. ``bounds_mode="group"`` for
+        LP-CTA, ``finalize_geometry=False`` to skip exact geometry).
+
+    Returns
+    -------
+    KSPRResult
+        The preference regions (each with its rank and exact geometry) plus
+        query statistics.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import Dataset, kspr
+    >>> data = Dataset(np.array([[3, 8, 8], [9, 4, 4], [8, 3, 4], [4, 3, 6]]))
+    >>> result = kspr(data, focal=[5, 5, 7], k=3)
+    >>> result.is_empty
+    False
+    """
+    if not isinstance(dataset, Dataset):
+        dataset = Dataset(np.asarray(dataset, dtype=float))
+    normalized = method.strip().lower().replace("_", "-")
+    if normalized not in _METHODS:
+        raise InvalidQueryError(
+            f"unknown method {method!r}; available: {', '.join(available_methods())}"
+        )
+    if normalized == "lpcta" and "bounds_mode" in options and isinstance(options["bounds_mode"], str):
+        options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+    return _METHODS[normalized](dataset, focal, k, **options)

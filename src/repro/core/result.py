@@ -1,0 +1,233 @@
+"""Result model of a kSPR query: preference regions and query statistics.
+
+The answer to a kSPR query is a set of disjoint regions of the preference
+space.  Each region is described implicitly by the halfspaces that bound it
+(the edge labels on its CellTree root path — Lemma 2) and, after the
+finalisation step (end of Section 4.2), by its exact geometry (vertices and
+volume in the transformed preference space).
+
+:class:`QueryStats` gathers the instrumentation used throughout Section 7:
+processed records, CellTree size, LP calls, index accesses, timing phases.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import GeometryError
+from ..geometry.halfspace import Halfspace
+from ..geometry.linprog import LPCounters
+from ..geometry.polytope import RegionGeometry, intersect_halfspaces, simplex_volume
+from ..geometry.transform import original_to_transformed
+
+__all__ = ["PreferenceRegion", "KSPRResult", "QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Instrumentation collected while answering one kSPR query."""
+
+    algorithm: str = ""
+    #: Records whose hyperplane was actually inserted into the CellTree.
+    processed_records: int = 0
+    #: Competitor records (neither dominating nor dominated by the focal record).
+    competitor_records: int = 0
+    #: Records dominating the focal record (they reduce the effective k).
+    dominator_records: int = 0
+    #: Total nodes ever created in the CellTree.
+    celltree_nodes: int = 0
+    #: Leaves pruned by look-ahead rank bounds (LP-CTA only).
+    cells_pruned_by_bounds: int = 0
+    #: Leaves reported early, before all records were processed.
+    cells_reported_early: int = 0
+    #: Number of record batches processed (P-CTA / LP-CTA).
+    batches: int = 0
+    #: LP solver usage.
+    lp: LPCounters = field(default_factory=LPCounters)
+    #: Simulated R-tree node (page) accesses.
+    index_node_accesses: int = 0
+    #: Seconds spent building the competitor index (excluded from response time
+    #: in the main experiments; Appendix D amortises it explicitly).
+    index_build_seconds: float = 0.0
+    #: Wall-clock seconds per phase ("insertion", "bounds", "finalization", ...).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Total response time in seconds (includes finalisation, per Section 7.1).
+    response_seconds: float = 0.0
+    #: Rough memory footprint of the CellTree plus index, in bytes.
+    space_bytes: int = 0
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the named phase."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def io_seconds(self, seconds_per_access: float = 0.0002) -> float:
+        """Simulated I/O time for the disk-based scenario (Appendix A).
+
+        The paper charges 0.2 ms per random page read on SSD; the same default
+        is used here.
+        """
+        return self.index_node_accesses * seconds_per_access
+
+
+class PreferenceRegion:
+    """One region of the preference space where the focal record is in the top-k."""
+
+    def __init__(
+        self,
+        halfspaces: Sequence[Halfspace],
+        rank: int,
+        dimensionality: int,
+        witness: np.ndarray | None = None,
+        geometry: RegionGeometry | None = None,
+        space: str = "transformed",
+    ) -> None:
+        self.halfspaces = tuple(halfspaces)
+        #: Rank of the focal record anywhere inside the region (<= k).
+        self.rank = int(rank)
+        #: Dimensionality of the space the constraints live in: d' for the
+        #: transformed preference space, d for the original-space variants.
+        self.dimensionality = int(dimensionality)
+        self.witness = None if witness is None else np.asarray(witness, dtype=float)
+        self.geometry = geometry
+        #: ``"transformed"`` (default) or ``"original"`` (Appendix C variants).
+        self.space = space
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    def finalize(self, counters: LPCounters | None = None) -> RegionGeometry:
+        """Compute (and cache) the exact geometry of the region."""
+        if self.geometry is None:
+            self.geometry = intersect_halfspaces(
+                self.halfspaces,
+                self.dimensionality,
+                interior_point=self.witness,
+                counters=counters,
+            )
+        return self.geometry
+
+    @property
+    def volume(self) -> float:
+        """Volume of the region in the transformed preference space."""
+        return self.finalize().volume
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Vertices of the region in the transformed preference space."""
+        return self.finalize().vertices
+
+    def interior_point(self) -> np.ndarray:
+        """A strictly interior point of the region (transformed space)."""
+        if self.witness is not None:
+            return self.witness
+        return self.finalize().interior_point
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def contains_transformed(self, point: np.ndarray, tolerance: float = 1e-12) -> bool:
+        """Whether a transformed-space point lies strictly inside the region."""
+        point = np.asarray(point, dtype=float)
+        if np.any(point <= tolerance) or float(np.sum(point)) >= 1.0 - tolerance:
+            return False
+        return all(halfspace.contains(point, tolerance) for halfspace in self.halfspaces)
+
+    def contains_weights(self, weights: np.ndarray, tolerance: float = 1e-12) -> bool:
+        """Whether a (normalised, original-space) weight vector lies in the region."""
+        weights = np.asarray(weights, dtype=float)
+        if self.space == "original":
+            if np.any(weights <= tolerance):
+                return False
+            return all(halfspace.contains(weights, tolerance) for halfspace in self.halfspaces)
+        return self.contains_transformed(original_to_transformed(weights), tolerance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PreferenceRegion(rank={self.rank}, "
+            f"halfspaces={len(self.halfspaces)}, d'={self.dimensionality})"
+        )
+
+
+class KSPRResult:
+    """Complete answer to a kSPR query."""
+
+    def __init__(
+        self,
+        focal: np.ndarray,
+        k: int,
+        regions: Iterable[PreferenceRegion],
+        stats: QueryStats,
+    ) -> None:
+        self.focal = np.asarray(focal, dtype=float)
+        self.k = int(k)
+        self.regions = list(regions)
+        self.stats = stats
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self) -> Iterator[PreferenceRegion]:
+        return iter(self.regions)
+
+    def __getitem__(self, index: int) -> PreferenceRegion:
+        return self.regions[index]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the focal record is never in the top-k."""
+        return not self.regions
+
+    # ------------------------------------------------------------------ #
+    # membership and impact
+    # ------------------------------------------------------------------ #
+    def contains_weights(self, weights: np.ndarray) -> bool:
+        """Whether the focal record is in the top-k for the given weight vector."""
+        return any(region.contains_weights(weights) for region in self.regions)
+
+    def total_volume(self) -> float:
+        """Summed volume of all result regions (transformed space)."""
+        total = 0.0
+        for region in self.regions:
+            try:
+                total += region.volume
+            except GeometryError:
+                # Degenerate (lower-dimensional) regions contribute zero volume.
+                continue
+        return total
+
+    def impact_probability(self) -> float:
+        """Probability that a uniformly random user has the focal record in their top-k.
+
+        Equals the summed region volume divided by the volume of the
+        transformed preference space (Section 1).
+        """
+        dimensionality = self.regions[0].dimensionality if self.regions else 1
+        return self.total_volume() / simplex_volume(dimensionality)
+
+    def finalize_all(self) -> None:
+        """Run the finalisation (exact geometry) step on every region."""
+        for region in self.regions:
+            try:
+                region.finalize(counters=self.stats.lp)
+            except GeometryError:
+                continue
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary used by the experiment harness and examples."""
+        return {
+            "regions": float(len(self.regions)),
+            "k": float(self.k),
+            "volume": self.total_volume(),
+            "impact_probability": self.impact_probability() if self.regions else 0.0,
+            "processed_records": float(self.stats.processed_records),
+            "celltree_nodes": float(self.stats.celltree_nodes),
+            "lp_calls": float(self.stats.lp.total_calls),
+            "response_seconds": self.stats.response_seconds,
+        }

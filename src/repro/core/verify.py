@@ -1,0 +1,99 @@
+"""Independent verification of kSPR answers.
+
+A kSPR result partitions claims about the preference space: a weight vector
+belongs to some result region *iff* the focal record ranks within the top-k
+under that vector.  This module checks both directions by Monte-Carlo
+sampling, providing an algorithm-independent correctness oracle used by the
+test-suite and available to library users:
+
+* **soundness** — every sampled vector inside a result region must give the
+  focal record rank ``<= k``;
+* **completeness** — every sampled vector for which the focal record ranks
+  ``<= k`` must fall inside some result region.
+
+Samples that fall (numerically) on a cell boundary — i.e. where some record's
+score ties with the focal record's — are skipped, since region membership on
+a measure-zero boundary is undefined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.transform import random_weight_vectors
+from ..records import Dataset, score
+from .result import KSPRResult
+
+__all__ = ["rank_under_weights", "VerificationReport", "verify_result"]
+
+
+def rank_under_weights(dataset: Dataset, focal: np.ndarray, weights: np.ndarray) -> int:
+    """Exact rank of the focal record under one weight vector (Lemma 1)."""
+    focal_score = score(focal, weights)
+    return int(np.sum(dataset.scores(weights) > focal_score)) + 1
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a Monte-Carlo verification run."""
+
+    samples: int
+    checked: int
+    skipped_boundary: int
+    false_positives: list[np.ndarray] = field(default_factory=list)
+    false_negatives: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def is_consistent(self) -> bool:
+        """True when no mismatch was observed."""
+        return not self.false_positives and not self.false_negatives
+
+    @property
+    def mismatches(self) -> int:
+        """Total number of mismatching samples."""
+        return len(self.false_positives) + len(self.false_negatives)
+
+
+def verify_result(
+    result: KSPRResult,
+    dataset: Dataset,
+    focal: np.ndarray,
+    k: int,
+    samples: int = 2000,
+    rng: np.random.Generator | int | None = None,
+    boundary_tolerance: float = 1e-9,
+) -> VerificationReport:
+    """Monte-Carlo check that ``result`` answers the kSPR query correctly.
+
+    Parameters
+    ----------
+    result:
+        The answer produced by any of the kSPR algorithms.
+    dataset, focal, k:
+        The original query.
+    samples:
+        Number of uniformly-sampled weight vectors to test.
+    boundary_tolerance:
+        Samples for which some record's score is within this tolerance of the
+        focal record's score are skipped (boundary cases).
+    """
+    focal = np.asarray(focal, dtype=float)
+    weights = random_weight_vectors(dataset.dimensionality, samples, rng)
+    report = VerificationReport(samples=samples, checked=0, skipped_boundary=0)
+
+    for vector in weights:
+        focal_score = score(focal, vector)
+        record_scores = dataset.scores(vector)
+        if record_scores.size and np.any(np.abs(record_scores - focal_score) < boundary_tolerance):
+            report.skipped_boundary += 1
+            continue
+        expected = (int(np.sum(record_scores > focal_score)) + 1) <= k
+        observed = result.contains_weights(vector)
+        report.checked += 1
+        if observed and not expected:
+            report.false_positives.append(vector)
+        elif expected and not observed:
+            report.false_negatives.append(vector)
+    return report

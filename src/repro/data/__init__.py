@@ -1,0 +1,34 @@
+"""Workload generators: synthetic benchmarks and real-data surrogates.
+
+* :mod:`repro.data.synthetic` — the standard Independent / Correlated /
+  Anti-correlated generators used across the preference-query literature.
+* :mod:`repro.data.realistic` — parameterised surrogates for the HOTEL,
+  HOUSE and NBA datasets of the paper (Table 1).
+* :mod:`repro.data.nba` — the two-season NBA generator behind the Figure 9
+  case study, with named players and position-dependent stat profiles.
+"""
+
+from .nba import NBASeason, generate_nba_season, howard_case_study
+from .realistic import hotel_surrogate, house_surrogate, nba_surrogate, real_dataset
+from .synthetic import (
+    anticorrelated_dataset,
+    correlated_dataset,
+    independent_dataset,
+    restaurant_example,
+    synthetic_dataset,
+)
+
+__all__ = [
+    "independent_dataset",
+    "correlated_dataset",
+    "anticorrelated_dataset",
+    "synthetic_dataset",
+    "restaurant_example",
+    "hotel_surrogate",
+    "house_surrogate",
+    "nba_surrogate",
+    "real_dataset",
+    "NBASeason",
+    "generate_nba_season",
+    "howard_case_study",
+]

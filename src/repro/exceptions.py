@@ -1,0 +1,43 @@
+"""Exception hierarchy for the kSPR reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  The sub-classes mirror the main failure modes of
+the system: malformed inputs, geometric degeneracies, and LP solver issues.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class InvalidDatasetError(ReproError):
+    """Raised when a dataset (or record) does not satisfy basic requirements.
+
+    Examples include non-2D arrays, mismatched dimensionality between a
+    dataset and a focal record, NaN / infinite attribute values, or an empty
+    dataset where records are required.
+    """
+
+
+class InvalidQueryError(ReproError):
+    """Raised for malformed query parameters (e.g. ``k <= 0``)."""
+
+
+class GeometryError(ReproError):
+    """Raised when an exact-geometry operation cannot be completed.
+
+    Typically signals a degenerate polytope (empty interior) passed to the
+    halfspace-intersection finaliser, or an unbounded region where a bounded
+    one was expected.
+    """
+
+
+class LPSolverError(ReproError):
+    """Raised when the underlying LP solver fails unexpectedly.
+
+    Infeasibility is *not* an error (it is a meaningful answer for the
+    feasibility test); this exception covers numerical failures and solver
+    statuses other than "optimal" / "infeasible".
+    """

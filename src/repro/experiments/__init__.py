@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+The harness is organised in three layers:
+
+* :mod:`repro.experiments.metrics` — per-query metric collection (wall-clock,
+  counters, simulated I/O) in a uniform record format;
+* :mod:`repro.experiments.harness` — focal-record selection, single-query
+  runners, and parameter-sweep drivers;
+* :mod:`repro.experiments.figures` — one function per table/figure of the
+  paper, returning the rows that correspond to the published plot, registered
+  in :data:`repro.experiments.figures.FIGURES`;
+* :mod:`repro.experiments.report` — plain-text rendering of those rows.
+
+The benchmark suite under ``benchmarks/`` is a thin wrapper around this
+package; ``python -m repro.experiments`` can also print any figure directly.
+"""
+
+from .figures import FIGURES, run_figure
+from .harness import ExperimentConfig, run_method, select_focal, sweep
+from .metrics import MeasuredRun
+from .report import format_table, render_figure
+
+__all__ = [
+    "FIGURES",
+    "run_figure",
+    "ExperimentConfig",
+    "run_method",
+    "select_focal",
+    "sweep",
+    "MeasuredRun",
+    "format_table",
+    "render_figure",
+]

@@ -1,0 +1,45 @@
+"""Command-line entry point: ``python -m repro.experiments [figure ...]``.
+
+Without arguments, lists the available figures.  With figure names (or
+``all``), runs them in the quick configuration and prints the resulting
+tables; pass ``--full`` for the larger grids used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import FIGURES, run_figure
+from .report import render_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids (e.g. fig10b) or 'all'")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the larger (slower) parameter grids instead of the quick ones",
+    )
+    arguments = parser.parse_args(argv)
+
+    if not arguments.figures:
+        print("Available figures:")
+        for name in sorted(FIGURES):
+            print(f"  {name}: {FIGURES[name].__doc__.splitlines()[0]}")
+        return 0
+
+    names = sorted(FIGURES) if arguments.figures == ["all"] else arguments.figures
+    for name in names:
+        result = run_figure(name, quick=not arguments.full)
+        print(render_figure(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

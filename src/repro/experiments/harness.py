@@ -1,0 +1,170 @@
+"""Experiment drivers: focal selection, single runs, parameter sweeps.
+
+The paper averages each plotted point over 1000 randomly selected focal
+records on datasets of up to ten million records; a pure-Python reproduction
+cannot afford that, so the harness runs a small, configurable number of
+queries per point on scaled-down datasets.  Focal records are selected from
+the skyline of the dataset (policy ``"skyline-random"``) so that queries are
+non-trivial; the strongest record under equal weights (``"skyline-top"``)
+guarantees a non-empty answer and is used where the figure needs one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..baselines import imaxrank, kskyband_cta, monochromatic_reverse_topk
+from ..core import cta, lpcta, pcta
+from ..core.original_space import o_cta, olp_cta, op_cta
+from ..core.result import KSPRResult
+from ..data import real_dataset, synthetic_dataset
+from ..exceptions import InvalidQueryError
+from ..index.rtree import AggregateRTree
+from ..index.skyline import skyline
+from ..records import Dataset
+from .metrics import MeasuredRun
+
+__all__ = ["ExperimentConfig", "METHOD_RUNNERS", "select_focal", "run_method", "sweep"]
+
+#: Mapping of harness method names to callables ``(dataset, focal, k, **opts)``.
+METHOD_RUNNERS: dict[str, Callable[..., KSPRResult]] = {
+    "CTA": cta,
+    "P-CTA": pcta,
+    "LP-CTA": lpcta,
+    "O-CTA": o_cta,
+    "OP-CTA": op_cta,
+    "OLP-CTA": olp_cta,
+    "RTOPK": monochromatic_reverse_topk,
+    "iMaxRank": imaxrank,
+    "k-skyband": kskyband_cta,
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """One experimental configuration (a single point of a figure)."""
+
+    distribution: str = "IND"
+    cardinality: int = 1000
+    dimensionality: int = 3
+    k: int = 5
+    seed: int = 42
+    queries: int = 1
+    focal_policy: str = "skyline-random"
+    method_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def dataset(self) -> Dataset:
+        """Materialise the dataset described by this configuration."""
+        name = self.distribution.upper()
+        if name in ("IND", "COR", "ANTI"):
+            return synthetic_dataset(name, self.cardinality, self.dimensionality, self.seed)
+        return real_dataset(name, self.cardinality, self.seed)
+
+    def label(self) -> dict[str, Any]:
+        """Config columns attached to every measured run."""
+        return {
+            "distribution": self.distribution,
+            "n": self.cardinality,
+            "d": self.dimensionality,
+            "k": self.k,
+        }
+
+
+def select_focal(
+    dataset: Dataset,
+    policy: str = "skyline-random",
+    seed: int = 0,
+    tree: AggregateRTree | None = None,
+) -> np.ndarray:
+    """Choose a focal record according to the given policy.
+
+    Policies
+    --------
+    ``"skyline-random"``
+        A uniformly random skyline record (non-dominated, so the query is not
+        trivially empty; the answer may still be empty if the record is
+        convexly dominated).
+    ``"skyline-top"``
+        The record with the highest equal-weights score; it is top-1 at the
+        simplex centroid, so the answer is guaranteed non-empty.
+    ``"random"``
+        A uniformly random record (the paper's literal policy; most draws are
+        deeply dominated and give empty answers almost for free).
+    """
+    if dataset.cardinality == 0:
+        raise InvalidQueryError("cannot select a focal record from an empty dataset")
+    rng = np.random.default_rng(seed)
+    if policy == "random":
+        position = int(rng.integers(dataset.cardinality))
+        return dataset.values[position].copy()
+    if tree is None:
+        tree = AggregateRTree(dataset)
+    skyline_ids = skyline(tree)
+    if not skyline_ids:
+        raise InvalidQueryError("the dataset has an empty skyline")
+    if policy == "skyline-random":
+        record_id = skyline_ids[int(rng.integers(len(skyline_ids)))]
+        return dataset.record_by_id(record_id).values.copy()
+    if policy == "skyline-top":
+        best_id = max(skyline_ids, key=lambda rid: float(np.sum(dataset.record_by_id(rid).values)))
+        return dataset.record_by_id(best_id).values.copy()
+    raise InvalidQueryError(f"unknown focal policy {policy!r}")
+
+
+def run_method(
+    method: str,
+    dataset: Dataset,
+    focal: np.ndarray,
+    k: int,
+    config_label: dict[str, Any] | None = None,
+    **options: Any,
+) -> MeasuredRun:
+    """Execute one algorithm on one query and collect its metrics."""
+    if method not in METHOD_RUNNERS:
+        raise InvalidQueryError(
+            f"unknown method {method!r}; available: {', '.join(sorted(METHOD_RUNNERS))}"
+        )
+    result = METHOD_RUNNERS[method](dataset, focal, k, **options)
+    return MeasuredRun.from_result(method, result, config_label)
+
+
+def _average(runs: Sequence[MeasuredRun]) -> MeasuredRun:
+    """Average the metrics of several runs of the same method/config."""
+    first = runs[0]
+    averaged = dict(first.metrics)
+    for key in averaged:
+        averaged[key] = float(np.mean([run.metrics.get(key, 0.0) for run in runs]))
+    return MeasuredRun(method=first.method, config=dict(first.config), metrics=averaged)
+
+
+def sweep(
+    configs: Iterable[ExperimentConfig],
+    methods: Sequence[str],
+    extra_config: dict[str, dict[str, Any]] | None = None,
+) -> list[MeasuredRun]:
+    """Run every method on every configuration and return one row per pair.
+
+    ``extra_config`` maps method names to keyword arguments forwarded to the
+    algorithm (e.g. ``{"LP-CTA": {"bounds_mode": "group"}}``).
+    """
+    rows: list[MeasuredRun] = []
+    for config in configs:
+        dataset = config.dataset()
+        tree = AggregateRTree(dataset)
+        for method in methods:
+            per_query: list[MeasuredRun] = []
+            for query_index in range(config.queries):
+                focal = select_focal(
+                    dataset, config.focal_policy, seed=config.seed + query_index, tree=tree
+                )
+                options: dict[str, Any] = {}
+                options.update((extra_config or {}).get(method, {}))
+                options.update(config.method_options.get(method, {}))
+                per_query.append(
+                    run_method(method, dataset, focal, config.k, config.label(), **options)
+                )
+            rows.append(_average(per_query))
+    return rows

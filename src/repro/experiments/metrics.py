@@ -1,0 +1,67 @@
+"""Uniform metric records for the experiment harness.
+
+Every algorithm run is summarised into a :class:`MeasuredRun`: a flat mapping
+of the quantities the paper plots (response time, processed records, CellTree
+nodes, LP calls, result size, space, simulated I/O).  Keeping the record flat
+makes the report layer trivial and lets figures mix metrics freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.result import KSPRResult
+
+__all__ = ["MeasuredRun"]
+
+#: Seconds charged per simulated random page read (the paper's SSD figure).
+SECONDS_PER_PAGE = 0.0002
+
+
+@dataclass
+class MeasuredRun:
+    """Metrics of one (algorithm, configuration) execution."""
+
+    method: str
+    config: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(
+        cls, method: str, result: KSPRResult, config: dict[str, Any] | None = None
+    ) -> "MeasuredRun":
+        """Build a record from a :class:`KSPRResult` and its statistics."""
+        stats = result.stats
+        io_seconds = stats.io_seconds(SECONDS_PER_PAGE)
+        metrics = {
+            "response_seconds": stats.response_seconds,
+            "cpu_seconds": stats.response_seconds,
+            "io_seconds": io_seconds,
+            "total_seconds_with_io": stats.response_seconds + io_seconds,
+            "result_regions": float(len(result)),
+            "processed_records": float(stats.processed_records),
+            "competitor_records": float(stats.competitor_records),
+            "celltree_nodes": float(stats.celltree_nodes),
+            "lp_calls": float(stats.lp.total_calls),
+            "lp_constraints": float(stats.lp.total_constraints),
+            "index_node_accesses": float(stats.index_node_accesses),
+            "space_mb": stats.space_bytes / (1024.0 * 1024.0),
+            "cells_reported_early": float(stats.cells_reported_early),
+            "cells_pruned_by_bounds": float(stats.cells_pruned_by_bounds),
+            "batches": float(stats.batches),
+            "index_build_seconds": stats.index_build_seconds,
+        }
+        return cls(method=method, config=dict(config or {}), metrics=metrics)
+
+    def row(self, columns: list[str]) -> list[Any]:
+        """Values for the requested columns (config keys first, then metrics)."""
+        values: list[Any] = []
+        for column in columns:
+            if column == "method":
+                values.append(self.method)
+            elif column in self.config:
+                values.append(self.config[column])
+            else:
+                values.append(self.metrics.get(column, float("nan")))
+        return values

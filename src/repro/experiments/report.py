@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results.
+
+The harness produces :class:`~repro.experiments.metrics.MeasuredRun` rows;
+this module lays them out as aligned text tables, one per figure, mimicking
+the series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .figures import FigureResult
+from .metrics import MeasuredRun
+
+__all__ = ["format_table", "render_figure"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Align ``rows`` under ``columns`` as a monospace table."""
+    rendered = [[_format_value(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in rendered:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.ljust(widths[index]) for index, value in enumerate(row))
+        for row in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def render_figure(result: FigureResult) -> str:
+    """Render one figure's rows, preceded by its title."""
+    rows = [run.row(result.columns) for run in result.rows]
+    table = format_table(result.columns, rows)
+    return f"{result.title}\n{table}"
+
+
+def render_runs(title: str, columns: Sequence[str], runs: Iterable[MeasuredRun]) -> str:
+    """Render ad-hoc runs that are not part of a registered figure."""
+    rows = [run.row(list(columns)) for run in runs]
+    return f"{title}\n{format_table(columns, rows)}"

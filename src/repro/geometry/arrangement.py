@@ -1,0 +1,112 @@
+"""Naive full-arrangement enumeration.
+
+This module materialises the arrangement of the record-induced hyperplanes by
+enumerating every feasible sign vector — the straightforward approach the
+paper calls impractical (Section 3.2, cost ``O(n^{d'})``).  It exists for two
+reasons:
+
+* as ground truth for the test suite: on tiny instances the set of cells (and
+  the rank of each) can be verified independently of the CellTree machinery;
+* as the engine of the brute-force baseline in
+  :mod:`repro.baselines.bruteforce`.
+
+The enumeration proceeds hyperplane by hyperplane, extending every feasible
+sign prefix with ``'+'`` and ``'-'`` and discarding infeasible extensions via
+the same LP feasibility test the CellTree uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .halfspace import Halfspace, Hyperplane
+from .linprog import LPCounters, cell_feasible
+
+__all__ = ["ArrangementCell", "enumerate_arrangement"]
+
+
+@dataclass(frozen=True)
+class ArrangementCell:
+    """One full-dimensional cell of the arrangement.
+
+    ``signs[i]`` is ``'+'`` if the cell lies in the positive halfspace of the
+    ``i``-th hyperplane and ``'-'`` otherwise.  ``rank`` is the rank of the
+    focal record inside the cell (Lemma 1): one plus the number of positive
+    signs.
+    """
+
+    signs: tuple[str, ...]
+    witness: np.ndarray
+    halfspaces: tuple[Halfspace, ...]
+
+    @property
+    def rank(self) -> int:
+        """Rank of the focal record anywhere inside this cell."""
+        return 1 + sum(1 for sign in self.signs if sign == "+")
+
+
+def enumerate_arrangement(
+    hyperplanes: Sequence[Hyperplane],
+    dimensionality: int,
+    counters: LPCounters | None = None,
+    max_cells: int | None = None,
+) -> list[ArrangementCell]:
+    """Enumerate all full-dimensional cells of the arrangement.
+
+    Parameters
+    ----------
+    hyperplanes:
+        The hyperplanes to insert (degenerate ones — all-zero coefficients —
+        are skipped because they do not partition the space).
+    dimensionality:
+        Dimensionality ``d'`` of the transformed preference space.
+    counters:
+        Optional LP counters for instrumentation.
+    max_cells:
+        Safety valve: raise ``RuntimeError`` if the number of cells exceeds
+        this bound (the enumeration is exponential in the worst case).
+    """
+    cells: list[tuple[tuple[str, ...], tuple[Halfspace, ...], np.ndarray]] = []
+    start = cell_feasible([], dimensionality, counters=counters)
+    cells.append(((), (), start.witness))
+
+    for hyperplane in hyperplanes:
+        if hyperplane.is_degenerate:
+            # A degenerate hyperplane contributes a constant score difference:
+            # it covers the whole space with one sign, determined by its offset.
+            sign = "+" if hyperplane.offset < 0 else "-"
+            cells = [
+                (signs + (sign,), halfspaces, witness)
+                for signs, halfspaces, witness in cells
+            ]
+            continue
+        next_cells: list[tuple[tuple[str, ...], tuple[Halfspace, ...], np.ndarray]] = []
+        for signs, halfspaces, witness in cells:
+            for sign in ("-", "+"):
+                candidate = Halfspace(hyperplane, sign)
+                # Quick witness check: if the stored witness already satisfies
+                # the new halfspace the extension is certainly feasible.
+                if candidate.contains(witness):
+                    next_cells.append((signs + (sign,), halfspaces + (candidate,), witness))
+                    continue
+                outcome = cell_feasible(
+                    list(halfspaces) + [candidate], dimensionality, counters=counters
+                )
+                if outcome.feasible:
+                    next_cells.append(
+                        (signs + (sign,), halfspaces + (candidate,), outcome.witness)
+                    )
+        cells = next_cells
+        if max_cells is not None and len(cells) > max_cells:
+            raise RuntimeError(
+                f"arrangement enumeration exceeded {max_cells} cells; "
+                "use the CellTree algorithms for instances of this size"
+            )
+
+    return [
+        ArrangementCell(signs=signs, witness=witness, halfspaces=halfspaces)
+        for signs, halfspaces, witness in cells
+    ]

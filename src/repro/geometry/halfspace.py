@@ -1,0 +1,178 @@
+"""Hyperplanes and halfspaces induced by record-vs-focal comparisons.
+
+For a record ``r`` and focal record ``p`` the equality ``S(r) = S(p)`` defines
+a hyperplane in preference space.  In the transformed space (Section 3.2) the
+hyperplane is::
+
+    sum_{i<d} (r_i - r_d - p_i + p_d) * w_i  =  p_d - r_d
+
+Its *positive* halfspace is where ``r`` out-scores ``p`` and its *negative*
+halfspace is where ``r`` scores lower.  The CellTree represents cells purely
+as sets of such halfspaces, so this module is the vocabulary every algorithm
+in :mod:`repro.core` speaks.
+
+Halfspaces are represented in "``a . w <= b``" form (closed) with a
+``strict`` flag; the LP layer adds an interior slack for strict constraints so
+that open cells are handled correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import GeometryError
+
+__all__ = ["Hyperplane", "Halfspace", "build_hyperplane", "build_halfspace"]
+
+#: Sign labels used throughout the package.
+POSITIVE = "+"
+NEGATIVE = "-"
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """The hyperplane ``coefficients . w = offset`` in the transformed space.
+
+    ``record_id`` identifies the data record that induced the hyperplane (or
+    ``-1`` for synthetic hyperplanes such as space boundaries).
+    """
+
+    coefficients: np.ndarray
+    offset: float
+    record_id: int = -1
+
+    def __post_init__(self) -> None:
+        coefficients = np.asarray(self.coefficients, dtype=float)
+        if coefficients.ndim != 1:
+            raise GeometryError("hyperplane coefficients must be a vector")
+        object.__setattr__(self, "coefficients", coefficients)
+        object.__setattr__(self, "offset", float(self.offset))
+
+    @property
+    def dimensionality(self) -> int:
+        """Dimensionality of the (transformed) preference space."""
+        return int(self.coefficients.shape[0])
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when all coefficients vanish (the "hyperplane" is not a surface).
+
+        This happens when ``r`` and ``p`` have the same attribute differences in
+        every dimension, i.e. ``S(r) - S(p)`` is constant over the whole space.
+        """
+        return bool(np.allclose(self.coefficients, 0.0))
+
+    def evaluate(self, point: np.ndarray) -> float:
+        """Signed value ``coefficients . point - offset`` at ``point``."""
+        return float(np.dot(self.coefficients, np.asarray(point, dtype=float)) - self.offset)
+
+    def positive(self) -> "Halfspace":
+        """The open halfspace where the inducing record out-scores the focal one."""
+        return Halfspace(self, POSITIVE)
+
+    def negative(self) -> "Halfspace":
+        """The open halfspace where the inducing record scores below the focal one."""
+        return Halfspace(self, NEGATIVE)
+
+    def side_of(self, point: np.ndarray, tolerance: float = 1e-12) -> str:
+        """Which side of the hyperplane ``point`` lies on (``'+'``, ``'-'`` or ``'0'``)."""
+        value = self.evaluate(point)
+        if value > tolerance:
+            return POSITIVE
+        if value < -tolerance:
+            return NEGATIVE
+        return "0"
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """One side of a :class:`Hyperplane`.
+
+    The positive halfspace contains the weight vectors for which the inducing
+    record scores *higher* than the focal record; the negative halfspace those
+    for which it scores lower.  Both are open sets.
+    """
+
+    hyperplane: Hyperplane
+    sign: str
+
+    def __post_init__(self) -> None:
+        if self.sign not in (POSITIVE, NEGATIVE):
+            raise GeometryError(f"halfspace sign must be '+' or '-', got {self.sign!r}")
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def record_id(self) -> int:
+        """Identifier of the record that induced this halfspace."""
+        return self.hyperplane.record_id
+
+    @property
+    def is_positive(self) -> bool:
+        """True when this is the positive (record-out-scores-focal) side."""
+        return self.sign == POSITIVE
+
+    @property
+    def dimensionality(self) -> int:
+        """Dimensionality of the (transformed) preference space."""
+        return self.hyperplane.dimensionality
+
+    def complement(self) -> "Halfspace":
+        """The opposite side of the same hyperplane."""
+        return Halfspace(self.hyperplane, NEGATIVE if self.is_positive else POSITIVE)
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    def contains(self, point: np.ndarray, tolerance: float = 1e-12) -> bool:
+        """Whether ``point`` lies strictly inside this (open) halfspace."""
+        value = self.hyperplane.evaluate(point)
+        return value > tolerance if self.is_positive else value < -tolerance
+
+    def as_leq_constraint(self) -> tuple[np.ndarray, float]:
+        """Return ``(a, b)`` such that this halfspace is ``a . w <= b`` (closed form).
+
+        The positive halfspace ``coef . w > offset`` becomes
+        ``-coef . w <= -offset``; the negative one ``coef . w < offset``
+        becomes ``coef . w <= offset``.  Strictness is reintroduced by the LP
+        layer through an interior slack variable.
+        """
+        coefficients = self.hyperplane.coefficients
+        offset = self.hyperplane.offset
+        if self.is_positive:
+            return -coefficients, -offset
+        return coefficients.copy(), offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Halfspace(record={self.record_id}, sign={self.sign})"
+
+
+def build_hyperplane(record: np.ndarray, focal: np.ndarray, record_id: int = -1) -> Hyperplane:
+    """Build the transformed-space hyperplane ``S(record) = S(focal)``.
+
+    Following Section 3.2, with ``d``-dimensional records the transformed
+    hyperplane has coefficients ``(r_i - r_d) - (p_i - p_d)`` for
+    ``i = 1..d-1`` and offset ``p_d - r_d``.
+    """
+    record = np.asarray(record, dtype=float)
+    focal = np.asarray(focal, dtype=float)
+    if record.shape != focal.shape or record.ndim != 1:
+        raise GeometryError("record and focal record must be vectors of equal length")
+    if record.shape[0] < 2:
+        raise GeometryError("records need at least two attributes")
+    coefficients = (record[:-1] - record[-1]) - (focal[:-1] - focal[-1])
+    offset = float(focal[-1] - record[-1])
+    return Hyperplane(coefficients, offset, record_id=record_id)
+
+
+def build_halfspace(
+    record: np.ndarray,
+    focal: np.ndarray,
+    sign: str,
+    record_id: int = -1,
+) -> Halfspace:
+    """Convenience constructor for one side of the record-vs-focal hyperplane."""
+    return Halfspace(build_hyperplane(record, focal, record_id=record_id), sign)

@@ -1,0 +1,288 @@
+"""LP-based feasibility tests and linear optimisation over implicit cells.
+
+The cornerstone of the paper's methodology (Section 4.2) is that cells of the
+hyperplane arrangement are never materialised geometrically during processing.
+A cell is a set of open halfspaces, and two LP primitives operate directly on
+that implicit representation:
+
+* :func:`cell_feasible` — does the intersection of the halfspaces (plus the
+  preference-space boundary) have a non-empty interior?  This replaces
+  expensive halfspace intersection with a single LP solve.
+* :func:`minimize_linear` / :func:`maximize_linear` — the minimum / maximum of
+  a linear objective over the (closure of the) cell.  These power the
+  look-ahead score bounds of Section 6.
+
+The paper uses the ``lp_solve`` library; we use :func:`scipy.optimize.linprog`
+with the HiGHS backend, which provides the same semantics.  Feasibility of an
+*open* cell is decided by maximising a slack ``t`` added to every strict
+inequality (scaled by the constraint's norm so ``t`` is a genuine interior
+margin): the cell has non-empty interior iff the optimal ``t`` exceeds a small
+tolerance.  The maximiser is an interior *witness point*, cached by the
+CellTree to implement the optimisation of Section 4.3.2 and reused as the
+interior point required by Qhull at finalisation time.
+
+All primitives optionally update an :class:`LPCounters` instance so the
+experiment harness can report the number of solver calls and the number of
+constraints per call (Figures 16 and 17 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..exceptions import LPSolverError
+from .halfspace import Halfspace
+
+__all__ = [
+    "LPCounters",
+    "FeasibilityResult",
+    "OptimizeResult",
+    "preference_space_constraints",
+    "halfspaces_to_constraints",
+    "cell_feasible",
+    "minimize_linear",
+    "maximize_linear",
+    "chebyshev_center",
+]
+
+#: Minimum interior margin for a cell to be considered non-empty.
+FEASIBILITY_TOLERANCE = 1e-9
+
+#: Upper bound on the slack variable (keeps the LP bounded).
+_SLACK_CAP = 1.0
+
+
+@dataclass
+class LPCounters:
+    """Mutable counters describing LP solver usage.
+
+    The experiment harness reads these to reproduce the paper's
+    "number of LP calls" and "number of constraints" metrics.
+    """
+
+    feasibility_calls: int = 0
+    optimize_calls: int = 0
+    total_constraints: int = 0
+
+    def record(self, kind: str, constraint_count: int) -> None:
+        """Record one solver invocation of the given ``kind``."""
+        if kind == "feasibility":
+            self.feasibility_calls += 1
+        else:
+            self.optimize_calls += 1
+        self.total_constraints += constraint_count
+
+    @property
+    def total_calls(self) -> int:
+        """Total number of LP solves performed."""
+        return self.feasibility_calls + self.optimize_calls
+
+    def merge(self, other: "LPCounters") -> None:
+        """Accumulate another counter object into this one."""
+        self.feasibility_calls += other.feasibility_calls
+        self.optimize_calls += other.optimize_calls
+        self.total_constraints += other.total_constraints
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Outcome of an interior-feasibility test."""
+
+    feasible: bool
+    witness: np.ndarray | None
+    margin: float
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+@dataclass(frozen=True)
+class OptimizeResult:
+    """Outcome of a linear min/max over a cell."""
+
+    value: float
+    point: np.ndarray
+
+
+def preference_space_constraints(dimensionality: int) -> list[tuple[np.ndarray, float]]:
+    """Closed-form boundary constraints of the transformed preference space.
+
+    These encode ``w_j >= 0`` for every axis and ``sum_j w_j <= 1`` (the open
+    versions ``> 0`` / ``< 1`` are recovered by the feasibility slack).
+    """
+    constraints: list[tuple[np.ndarray, float]] = []
+    for axis in range(dimensionality):
+        coefficients = np.zeros(dimensionality)
+        coefficients[axis] = -1.0
+        constraints.append((coefficients, 0.0))
+    constraints.append((np.ones(dimensionality), 1.0))
+    return constraints
+
+
+def halfspaces_to_constraints(
+    halfspaces: Iterable[Halfspace],
+) -> list[tuple[np.ndarray, float]]:
+    """Convert halfspaces to closed ``a . w <= b`` constraint rows."""
+    return [halfspace.as_leq_constraint() for halfspace in halfspaces]
+
+
+def _assemble(
+    halfspaces: Sequence[Halfspace],
+    dimensionality: int,
+    include_space_bounds: bool,
+    extra_constraints: Sequence[tuple[np.ndarray, float]] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack all constraints into ``(A, b)`` matrices."""
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    for coefficients, bound in halfspaces_to_constraints(halfspaces):
+        rows.append(np.asarray(coefficients, dtype=float))
+        rhs.append(float(bound))
+    if include_space_bounds:
+        for coefficients, bound in preference_space_constraints(dimensionality):
+            rows.append(coefficients)
+            rhs.append(bound)
+    if extra_constraints:
+        for coefficients, bound in extra_constraints:
+            rows.append(np.asarray(coefficients, dtype=float))
+            rhs.append(float(bound))
+    if not rows:
+        return np.zeros((0, dimensionality)), np.zeros(0)
+    return np.vstack(rows), np.asarray(rhs, dtype=float)
+
+
+def cell_feasible(
+    halfspaces: Sequence[Halfspace],
+    dimensionality: int,
+    counters: LPCounters | None = None,
+    include_space_bounds: bool = True,
+    tolerance: float = FEASIBILITY_TOLERANCE,
+) -> FeasibilityResult:
+    """Test whether the open intersection of ``halfspaces`` is non-empty.
+
+    Maximises the interior margin ``t`` such that every constraint
+    ``a . w <= b`` is satisfied with slack ``t * ||a||``.  The cell has a
+    non-empty interior iff the optimal ``t`` exceeds ``tolerance``.  The
+    optimiser's weight vector is returned as a witness interior point.
+    """
+    matrix, bounds = _assemble(halfspaces, dimensionality, include_space_bounds)
+    if counters is not None:
+        counters.record("feasibility", matrix.shape[0])
+    if matrix.shape[0] == 0:
+        # No constraints at all: the whole space qualifies; pick its centroid.
+        witness = np.full(dimensionality, 1.0 / (dimensionality + 1.0))
+        return FeasibilityResult(True, witness, 1.0)
+
+    norms = np.linalg.norm(matrix, axis=1)
+    norms = np.where(norms < 1e-15, 1.0, norms)
+    # Variables: [w_1 .. w_d', t]; maximise t.
+    augmented = np.hstack([matrix, norms.reshape(-1, 1)])
+    objective = np.zeros(dimensionality + 1)
+    objective[-1] = -1.0
+    variable_bounds = [(-1.0, 2.0)] * dimensionality + [(0.0, _SLACK_CAP)]
+    outcome = linprog(
+        objective,
+        A_ub=augmented,
+        b_ub=bounds,
+        bounds=variable_bounds,
+        method="highs",
+    )
+    if outcome.status == 2:  # infeasible even as a closed system
+        return FeasibilityResult(False, None, 0.0)
+    if not outcome.success:
+        raise LPSolverError(f"feasibility LP failed with status {outcome.status}: {outcome.message}")
+    margin = float(outcome.x[-1])
+    if margin <= tolerance:
+        return FeasibilityResult(False, None, margin)
+    return FeasibilityResult(True, outcome.x[:-1].copy(), margin)
+
+
+def _optimize(
+    objective: np.ndarray,
+    halfspaces: Sequence[Halfspace],
+    dimensionality: int,
+    counters: LPCounters | None,
+    include_space_bounds: bool,
+    extra_constraints: Sequence[tuple[np.ndarray, float]] | None,
+) -> OptimizeResult:
+    matrix, bounds = _assemble(
+        halfspaces, dimensionality, include_space_bounds, extra_constraints
+    )
+    if counters is not None:
+        counters.record("optimize", matrix.shape[0])
+    variable_bounds = [(-1.0, 2.0)] * dimensionality
+    outcome = linprog(
+        np.asarray(objective, dtype=float),
+        A_ub=matrix if matrix.size else None,
+        b_ub=bounds if matrix.size else None,
+        bounds=variable_bounds,
+        method="highs",
+    )
+    if not outcome.success:
+        raise LPSolverError(
+            f"optimisation LP failed with status {outcome.status}: {outcome.message}"
+        )
+    return OptimizeResult(float(outcome.fun), outcome.x.copy())
+
+
+def minimize_linear(
+    objective: np.ndarray,
+    halfspaces: Sequence[Halfspace],
+    dimensionality: int,
+    counters: LPCounters | None = None,
+    include_space_bounds: bool = True,
+    extra_constraints: Sequence[tuple[np.ndarray, float]] | None = None,
+) -> OptimizeResult:
+    """Minimise ``objective . w`` over the closure of the cell."""
+    return _optimize(
+        np.asarray(objective, dtype=float),
+        halfspaces,
+        dimensionality,
+        counters,
+        include_space_bounds,
+        extra_constraints,
+    )
+
+
+def maximize_linear(
+    objective: np.ndarray,
+    halfspaces: Sequence[Halfspace],
+    dimensionality: int,
+    counters: LPCounters | None = None,
+    include_space_bounds: bool = True,
+    extra_constraints: Sequence[tuple[np.ndarray, float]] | None = None,
+) -> OptimizeResult:
+    """Maximise ``objective . w`` over the closure of the cell."""
+    outcome = _optimize(
+        -np.asarray(objective, dtype=float),
+        halfspaces,
+        dimensionality,
+        counters,
+        include_space_bounds,
+        extra_constraints,
+    )
+    return OptimizeResult(-outcome.value, outcome.point)
+
+
+def chebyshev_center(
+    halfspaces: Sequence[Halfspace],
+    dimensionality: int,
+    counters: LPCounters | None = None,
+    include_space_bounds: bool = True,
+) -> FeasibilityResult:
+    """Deepest interior point of a cell (maximum-margin point).
+
+    This is exactly the feasibility LP — exposed under its geometric name for
+    use by the exact-geometry finaliser, which needs a strictly interior point
+    to seed Qhull's halfspace intersection.
+    """
+    return cell_feasible(
+        halfspaces,
+        dimensionality,
+        counters=counters,
+        include_space_bounds=include_space_bounds,
+    )

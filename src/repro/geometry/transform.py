@@ -1,0 +1,90 @@
+"""Mapping between the original and the transformed preference space.
+
+The paper normalises weight vectors so that every weight is positive and they
+sum to one.  That makes the last weight redundant
+(``w_d = 1 - sum_{i<d} w_i``), so all CellTree processing happens in the
+*transformed* preference space with ``d' = d - 1`` axes
+``w_1, ..., w_{d-1}`` constrained by ``w_i > 0`` and ``sum_i w_i < 1``
+(Section 3.2).
+
+This module provides the conversions between the two spaces and a helper for
+sampling weight vectors uniformly from the preference simplex (used by the
+verification utilities and the market-impact estimator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidQueryError
+
+__all__ = [
+    "original_to_transformed",
+    "transformed_to_original",
+    "random_weight_vectors",
+    "is_valid_transformed_point",
+]
+
+
+def original_to_transformed(weights: np.ndarray) -> np.ndarray:
+    """Drop the last coordinate of a normalised weight vector.
+
+    ``weights`` may be a single vector of length ``d`` or an array of shape
+    ``(m, d)``; the result has length/width ``d - 1``.
+    """
+    array = np.asarray(weights, dtype=float)
+    if array.ndim == 1:
+        if array.shape[0] < 2:
+            raise InvalidQueryError("weight vectors need at least two dimensions")
+        return array[:-1].copy()
+    if array.ndim == 2:
+        if array.shape[1] < 2:
+            raise InvalidQueryError("weight vectors need at least two dimensions")
+        return array[:, :-1].copy()
+    raise InvalidQueryError("weights must be a vector or a matrix of vectors")
+
+
+def transformed_to_original(point: np.ndarray) -> np.ndarray:
+    """Re-attach the implicit last weight ``w_d = 1 - sum_i w_i``."""
+    array = np.asarray(point, dtype=float)
+    if array.ndim == 1:
+        last = 1.0 - float(np.sum(array))
+        return np.concatenate([array, [last]])
+    if array.ndim == 2:
+        last = 1.0 - np.sum(array, axis=1, keepdims=True)
+        return np.hstack([array, last])
+    raise InvalidQueryError("point must be a vector or a matrix of vectors")
+
+
+def is_valid_transformed_point(point: np.ndarray, tolerance: float = 0.0) -> bool:
+    """True if ``point`` lies in the (open) transformed preference space."""
+    array = np.asarray(point, dtype=float)
+    if array.ndim != 1:
+        raise InvalidQueryError("point must be a single vector")
+    if np.any(array <= tolerance):
+        return False
+    return float(np.sum(array)) < 1.0 - tolerance
+
+
+def random_weight_vectors(
+    dimensionality: int,
+    count: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample ``count`` weight vectors uniformly from the ``d``-simplex.
+
+    The vectors are returned in the *original* space (length ``d``, strictly
+    positive entries summing to one).  Sampling uses the standard Dirichlet
+    (all-ones) construction, which is uniform over the simplex.
+    """
+    if dimensionality < 2:
+        raise InvalidQueryError("need at least two dimensions to sample weights")
+    if count < 0:
+        raise InvalidQueryError("count must be non-negative")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    samples = rng.dirichlet(np.ones(dimensionality), size=count)
+    # Guard against exact zeros produced by floating-point underflow.
+    samples = np.clip(samples, 1e-12, None)
+    samples /= samples.sum(axis=1, keepdims=True)
+    return samples

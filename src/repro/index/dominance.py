@@ -1,0 +1,140 @@
+"""Dominance tests and the dominance graph used by P-CTA.
+
+Dominance ("no worse in every attribute, better in at least one" under the
+larger-is-better convention) drives the processing order of P-CTA: a record is
+processed only after all records that dominate it (Invariant 1).  While
+records are fetched in skyline batches, P-CTA maintains a *dominance graph*
+over the processed records.  The graph answers, for a record about to be
+inserted, "which already-processed records dominate it?"  — the set ``Dr`` of
+Algorithm 2, used by the insertion shortcut of Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..records import Dataset
+
+__all__ = ["dominates", "dominating_mask", "dominated_counts", "DominanceGraph"]
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True if vector ``a`` dominates vector ``b`` (larger is better)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a >= b) and np.any(a > b))
+
+
+def dominating_mask(candidates: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Boolean mask of the rows of ``candidates`` that dominate ``target``."""
+    candidates = np.asarray(candidates, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if candidates.size == 0:
+        return np.zeros(0, dtype=bool)
+    geq = np.all(candidates >= target, axis=1)
+    gt = np.any(candidates > target, axis=1)
+    return geq & gt
+
+
+def dominated_counts(dataset: Dataset, chunk_size: int = 512) -> np.ndarray:
+    """For every record, the number of other records that dominate it.
+
+    Used by tests and by the k-skyband reference implementation.  Works in
+    chunks to keep the memory footprint at ``O(chunk_size * n)``.
+    """
+    values = dataset.values
+    n = values.shape[0]
+    counts = np.zeros(n, dtype=int)
+    for start in range(0, n, chunk_size):
+        block = values[start : start + chunk_size]
+        # For every pair (i in block, j in dataset): does j dominate i?
+        geq = np.all(values[None, :, :] >= block[:, None, :], axis=2)
+        gt = np.any(values[None, :, :] > block[:, None, :], axis=2)
+        counts[start : start + block.shape[0]] = np.sum(geq & gt, axis=1)
+    return counts
+
+
+class DominanceGraph:
+    """Dominance relationships among the records processed so far.
+
+    Nodes are record identifiers; there is an edge from ``a`` to ``b`` when
+    record ``a`` dominates record ``b``.  The graph is grown incrementally as
+    P-CTA processes new batches and supports the two look-ups the algorithm
+    needs: the *ancestors* (dominators) of a record and the *descendants*
+    (dominated records).
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        self._ids: list[int] = []
+        self._values: list[np.ndarray] = []
+        self._dominators: dict[int, set[int]] = {}
+        self._dominated: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, record_id: int) -> None:
+        """Add one processed record and its edges to/from existing members."""
+        if record_id in self._dominators:
+            return
+        values = self._dataset.record_by_id(record_id).values
+        dominators: set[int] = set()
+        dominated: set[int] = set()
+        if self._ids:
+            members = np.vstack(self._values)
+            over_mask = dominating_mask(members, values)
+            geq = np.all(values >= members, axis=1)
+            gt = np.any(values > members, axis=1)
+            under_mask = geq & gt
+            for existing_id, dominates_new, dominated_by_new in zip(self._ids, over_mask, under_mask):
+                if dominates_new:
+                    dominators.add(existing_id)
+                    self._dominated[existing_id].add(record_id)
+                if dominated_by_new:
+                    dominated.add(existing_id)
+                    self._dominators[existing_id].add(record_id)
+        self._ids.append(record_id)
+        self._values.append(values)
+        self._dominators[record_id] = dominators
+        self._dominated[record_id] = dominated
+
+    def add_batch(self, record_ids: Iterable[int]) -> None:
+        """Add a whole batch of processed records."""
+        for record_id in record_ids:
+            self.add(record_id)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._dominators
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def members(self) -> list[int]:
+        """Identifiers of all records currently in the graph."""
+        return list(self._ids)
+
+    def dominators_of(self, record_id: int) -> set[int]:
+        """Processed records that dominate ``record_id``.
+
+        ``record_id`` itself need not be a member yet (the typical call is for
+        a record about to be inserted); in that case dominance is computed
+        against the current members on the fly.
+        """
+        if record_id in self._dominators:
+            return set(self._dominators[record_id])
+        values = self._dataset.record_by_id(record_id).values
+        if not self._ids:
+            return set()
+        members = np.vstack(self._values)
+        mask = dominating_mask(members, values)
+        return {existing_id for existing_id, hit in zip(self._ids, mask) if hit}
+
+    def dominated_by(self, record_id: int) -> set[int]:
+        """Processed records dominated by ``record_id`` (must be a member)."""
+        return set(self._dominated.get(record_id, set()))

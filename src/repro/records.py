@@ -1,0 +1,262 @@
+"""Record and dataset containers.
+
+The kSPR algorithms operate on a dataset of ``n`` records with ``d`` numeric
+attributes each.  Larger attribute values are assumed to be *better* (the
+paper's convention): the score of a record under a weight vector ``w`` is the
+weighted sum of its attributes, and higher scores rank higher.
+
+:class:`Dataset` is a thin, immutable wrapper around a ``(n, d)`` numpy array
+plus per-record identifiers.  It also provides the pre-processing step of
+Section 3.1 of the paper: records that *dominate* the focal record always
+out-score it (so they only shift its rank by a constant), and records that are
+*dominated by* the focal record never out-score it (so they are irrelevant).
+:meth:`Dataset.partition_by_focal` splits the dataset accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidDatasetError
+
+__all__ = ["Record", "Dataset", "FocalPartition", "score", "scores"]
+
+
+def score(values: np.ndarray, weights: np.ndarray) -> float:
+    """Return the linear score ``values . weights`` (Equation 1 of the paper)."""
+    return float(np.dot(np.asarray(values, dtype=float), np.asarray(weights, dtype=float)))
+
+
+def scores(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Return the scores of every row of ``matrix`` under ``weights``."""
+    return np.asarray(matrix, dtype=float) @ np.asarray(weights, dtype=float)
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single data record: an identifier plus its attribute vector."""
+
+    record_id: int
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1:
+            raise InvalidDatasetError("record values must be a 1-D vector")
+        if not np.all(np.isfinite(values)):
+            raise InvalidDatasetError("record values must be finite")
+        object.__setattr__(self, "values", values)
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes of the record."""
+        return int(self.values.shape[0])
+
+    def score(self, weights: np.ndarray) -> float:
+        """Score of this record under ``weights``."""
+        return score(self.values, weights)
+
+    def dominates(self, other: "Record | np.ndarray") -> bool:
+        """True if this record dominates ``other`` (>= everywhere, > somewhere)."""
+        other_values = other.values if isinstance(other, Record) else np.asarray(other, dtype=float)
+        return dominates(self.values, other_values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return self.dimensionality
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Dominance test under the "larger is better" convention.
+
+    ``a`` dominates ``b`` iff ``a`` is no smaller than ``b`` in every
+    dimension and strictly larger in at least one.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a >= b) and np.any(a > b))
+
+
+@dataclass(frozen=True)
+class FocalPartition:
+    """Result of splitting a dataset with respect to a focal record.
+
+    Attributes
+    ----------
+    competitors:
+        Records that neither dominate nor are dominated by the focal record.
+        These are the only records whose hyperplanes need to be inserted.
+    dominators:
+        Number of records that dominate the focal record.  They out-score the
+        focal record for *every* weight vector, so the effective ``k`` for the
+        competitor-only sub-problem is ``k - dominators``.
+    dominated:
+        Number of records dominated by the focal record (irrelevant to kSPR).
+    """
+
+    competitors: "Dataset"
+    dominators: int
+    dominated: int
+
+    def effective_k(self, k: int) -> int:
+        """The value of ``k`` to use once dominators have been removed."""
+        return k - self.dominators
+
+
+class Dataset:
+    """An immutable collection of records used as kSPR input.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(n, d)``.
+    ids:
+        Optional sequence of ``n`` integer identifiers.  Defaults to
+        ``0 .. n-1``.
+    name:
+        Optional human-readable name (used by the experiment harness).
+    """
+
+    def __init__(
+        self,
+        values: Iterable[Sequence[float]] | np.ndarray,
+        ids: Sequence[int] | np.ndarray | None = None,
+        name: str = "dataset",
+    ) -> None:
+        array = np.asarray(values, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2:
+            raise InvalidDatasetError("dataset values must form a 2-D array of shape (n, d)")
+        if array.shape[1] < 1:
+            raise InvalidDatasetError("dataset must have at least one attribute")
+        if array.size and not np.all(np.isfinite(array)):
+            raise InvalidDatasetError("dataset values must be finite")
+        array = array.copy()
+        array.setflags(write=False)
+        self._values = array
+
+        if ids is None:
+            id_array = np.arange(array.shape[0], dtype=np.int64)
+        else:
+            id_array = np.asarray(ids, dtype=np.int64)
+            if id_array.shape != (array.shape[0],):
+                raise InvalidDatasetError("ids must have one entry per record")
+            if len(np.unique(id_array)) != id_array.shape[0]:
+                raise InvalidDatasetError("record ids must be unique")
+        id_array = id_array.copy()
+        id_array.setflags(write=False)
+        self._ids = id_array
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The read-only ``(n, d)`` attribute matrix."""
+        return self._values
+
+    @property
+    def ids(self) -> np.ndarray:
+        """The read-only vector of record identifiers."""
+        return self._ids
+
+    @property
+    def cardinality(self) -> int:
+        """Number of records ``n``."""
+        return int(self._values.shape[0])
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes ``d``."""
+        return int(self._values.shape[1])
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __iter__(self) -> Iterator[Record]:
+        for record_id, row in zip(self._ids, self._values):
+            yield Record(int(record_id), row)
+
+    def __getitem__(self, index: int) -> Record:
+        return Record(int(self._ids[index]), self._values[index])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset(name={self.name!r}, n={self.cardinality}, d={self.dimensionality})"
+
+    def record_by_id(self, record_id: int) -> Record:
+        """Return the record with the given identifier."""
+        matches = np.nonzero(self._ids == record_id)[0]
+        if matches.size == 0:
+            raise KeyError(f"no record with id {record_id}")
+        index = int(matches[0])
+        return Record(record_id, self._values[index])
+
+    # ------------------------------------------------------------------ #
+    # scoring and ranking
+    # ------------------------------------------------------------------ #
+    def scores(self, weights: np.ndarray) -> np.ndarray:
+        """Scores of every record under ``weights``."""
+        return scores(self._values, weights)
+
+    def top_k(self, weights: np.ndarray, k: int) -> list[int]:
+        """Ids of the ``k`` highest-scoring records under ``weights``."""
+        if k <= 0:
+            return []
+        record_scores = self.scores(weights)
+        order = np.argsort(-record_scores, kind="stable")[: min(k, self.cardinality)]
+        return [int(self._ids[i]) for i in order]
+
+    def rank_of(self, focal: np.ndarray, weights: np.ndarray) -> int:
+        """Rank of an (external) focal record under ``weights``.
+
+        The rank is ``1 +`` the number of dataset records scoring strictly
+        higher than the focal record, matching Lemma 1 of the paper.
+        """
+        focal_score = score(np.asarray(focal, dtype=float), weights)
+        higher = int(np.sum(self.scores(weights) > focal_score + 0.0))
+        return higher + 1
+
+    # ------------------------------------------------------------------ #
+    # focal-record pre-processing (Section 3.1)
+    # ------------------------------------------------------------------ #
+    def partition_by_focal(self, focal: np.ndarray) -> FocalPartition:
+        """Split the dataset into competitors / dominators / dominated w.r.t. ``focal``."""
+        focal = np.asarray(focal, dtype=float)
+        if focal.shape != (self.dimensionality,):
+            raise InvalidDatasetError(
+                "focal record dimensionality does not match the dataset"
+            )
+        if self.cardinality == 0:
+            return FocalPartition(self.subset(np.array([], dtype=int)), 0, 0)
+        geq = np.all(self._values >= focal, axis=1)
+        gt_any = np.any(self._values > focal, axis=1)
+        dominator_mask = geq & gt_any
+        leq = np.all(self._values <= focal, axis=1)
+        lt_any = np.any(self._values < focal, axis=1)
+        dominated_mask = leq & lt_any
+        equal_mask = np.all(self._values == focal, axis=1)
+        competitor_mask = ~(dominator_mask | dominated_mask | equal_mask)
+        competitors = self.subset(np.nonzero(competitor_mask)[0])
+        return FocalPartition(
+            competitors=competitors,
+            dominators=int(np.sum(dominator_mask)),
+            dominated=int(np.sum(dominated_mask | equal_mask)),
+        )
+
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
+        """Return a new dataset holding only the rows at ``indices``."""
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(self._values[indices], ids=self._ids[indices], name=self.name)
+
+    def without_ids(self, excluded: Iterable[int]) -> "Dataset":
+        """Return a dataset excluding the records whose id is in ``excluded``."""
+        excluded_set = set(int(x) for x in excluded)
+        keep = [i for i, rid in enumerate(self._ids) if int(rid) not in excluded_set]
+        return self.subset(keep)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the kSPR test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.data import independent_dataset, restaurant_example
+from repro.index.rtree import AggregateRTree
+
+
+@pytest.fixture
+def restaurants() -> tuple[Dataset, np.ndarray]:
+    """The paper's Figure 1 running example (four competitors + Kyma)."""
+    return restaurant_example()
+
+
+@pytest.fixture
+def small_ind_dataset() -> Dataset:
+    """A small independent dataset used across unit tests."""
+    return independent_dataset(60, 3, seed=101)
+
+
+@pytest.fixture
+def medium_ind_dataset() -> Dataset:
+    """A slightly larger independent dataset for integration tests."""
+    return independent_dataset(150, 4, seed=202)
+
+
+@pytest.fixture
+def small_tree(small_ind_dataset: Dataset) -> AggregateRTree:
+    """Aggregate R-tree over the small dataset."""
+    return AggregateRTree(small_ind_dataset, fanout=8)

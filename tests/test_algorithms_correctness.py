@@ -1,0 +1,192 @@
+"""Integration tests: all kSPR algorithms agree with each other and with ground truth.
+
+Three independent oracles are used:
+
+* the brute-force arrangement enumerator (:mod:`repro.baselines.bruteforce`);
+* Monte-Carlo verification (:func:`repro.core.verify.verify_result`): sampled
+  weight vectors must lie in a result region exactly when the focal record
+  ranks within the top-k;
+* cross-method agreement on total region volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, cta, kspr, lpcta, pcta, verify_result
+from repro.baselines import brute_force_kspr, imaxrank, kskyband_cta
+from repro.core.original_space import olp_cta, op_cta
+from repro.data import anticorrelated_dataset, correlated_dataset, independent_dataset
+
+ALL_METHODS = {
+    "cta": cta,
+    "pcta": pcta,
+    "lpcta": lpcta,
+}
+
+
+@pytest.fixture(scope="module")
+def example_query():
+    """A small but non-trivial 3-d query shared by several tests."""
+    dataset = independent_dataset(50, 3, seed=31)
+    focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.97
+    return dataset, focal, 3
+
+
+class TestRestaurantExample:
+    """The paper's Figure 1 example: Kyma must be top-3 in a non-trivial area."""
+
+    @pytest.mark.parametrize("method", ["cta", "pcta", "lpcta"])
+    def test_result_is_verified(self, restaurants, method):
+        dataset, kyma = restaurants
+        result = kspr(dataset, kyma, 3, method=method)
+        assert not result.is_empty
+        report = verify_result(result, dataset, kyma, 3, samples=1500, rng=11)
+        assert report.is_consistent
+        assert report.checked > 1000
+
+    def test_all_methods_agree_on_volume(self, restaurants):
+        dataset, kyma = restaurants
+        volumes = [
+            kspr(dataset, kyma, 3, method=method).total_volume() for method in ALL_METHODS
+        ]
+        assert max(volumes) - min(volumes) < 1e-6
+
+    def test_rank_annotations_are_within_k(self, restaurants):
+        dataset, kyma = restaurants
+        result = kspr(dataset, kyma, 3)
+        assert all(1 <= region.rank <= 3 for region in result.regions)
+
+    def test_k1_is_subset_of_k3(self, restaurants):
+        dataset, kyma = restaurants
+        volume_k1 = kspr(dataset, kyma, 1).total_volume()
+        volume_k3 = kspr(dataset, kyma, 3).total_volume()
+        assert volume_k1 <= volume_k3 + 1e-9
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("method", ["cta", "pcta", "lpcta"])
+    def test_volume_matches_arrangement_enumeration(self, seed, method):
+        dataset = independent_dataset(12, 3, seed=seed)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.95
+        expected = brute_force_kspr(dataset, focal, 2).total_volume()
+        observed = kspr(dataset, focal, 2, method=method).total_volume()
+        assert observed == pytest.approx(expected, abs=1e-6)
+
+    def test_region_count_can_differ_but_union_matches(self):
+        """The CellTree may split a brute-force cell; the union must be identical."""
+        dataset = independent_dataset(10, 3, seed=9)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.9
+        brute = brute_force_kspr(dataset, focal, 2)
+        fast = kspr(dataset, focal, 2, method="lpcta")
+        rng = np.random.default_rng(5)
+        from repro.geometry.transform import random_weight_vectors
+
+        for weights in random_weight_vectors(3, 300, rng):
+            assert brute.contains_weights(weights) == fast.contains_weights(weights)
+
+
+class TestMonteCarloAcrossDistributionsAndMethods:
+    @pytest.mark.parametrize("generator", [independent_dataset, correlated_dataset, anticorrelated_dataset])
+    def test_lpcta_verified_on_each_distribution(self, generator):
+        dataset = generator(60, 3, seed=17)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.98
+        result = lpcta(dataset, focal, 4)
+        report = verify_result(result, dataset, focal, 4, samples=800, rng=23)
+        assert report.is_consistent
+
+    @pytest.mark.parametrize("method", ["cta", "pcta", "lpcta"])
+    def test_four_dimensional_query(self, method, medium_ind_dataset):
+        dataset = medium_ind_dataset.subset(range(60))
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.97
+        result = ALL_METHODS[method](dataset, focal, 3)
+        report = verify_result(result, dataset, focal, 3, samples=500, rng=29)
+        assert report.is_consistent
+
+    def test_two_dimensional_query(self):
+        dataset = independent_dataset(200, 2, seed=41)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.95
+        result = lpcta(dataset, focal, 5)
+        report = verify_result(result, dataset, focal, 5, samples=1000, rng=43)
+        assert report.is_consistent
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000), k=st.integers(min_value=1, max_value=4))
+    def test_property_pcta_always_verified(self, seed, k):
+        """Property: for random small instances P-CTA's answer always verifies."""
+        dataset = independent_dataset(25, 3, seed=seed)
+        rng = np.random.default_rng(seed)
+        focal = dataset.values[int(rng.integers(dataset.cardinality))]
+        result = pcta(dataset, focal, k)
+        report = verify_result(result, dataset, focal, k, samples=300, rng=seed + 1)
+        assert report.is_consistent
+
+
+class TestBaselinesAgree:
+    def test_imaxrank_matches_lpcta(self, example_query):
+        dataset, focal, k = example_query
+        baseline = imaxrank(dataset, focal, k)
+        report = verify_result(baseline, dataset, focal, k, samples=800, rng=3)
+        assert report.is_consistent
+
+    def test_kskyband_matches_lpcta(self, example_query):
+        dataset, focal, k = example_query
+        baseline = kskyband_cta(dataset, focal, k)
+        reference = lpcta(dataset, focal, k)
+        assert baseline.total_volume() == pytest.approx(reference.total_volume(), abs=1e-6)
+
+    def test_original_space_variants_verified(self, example_query):
+        dataset, focal, k = example_query
+        for variant in (op_cta, olp_cta):
+            result = variant(dataset, focal, k)
+            report = verify_result(result, dataset, focal, k, samples=600, rng=13)
+            assert report.is_consistent
+
+
+class TestEdgeCases:
+    def test_focal_dominated_by_k_records_gives_empty_result(self):
+        dataset = Dataset([[5.0, 5.0], [4.0, 4.0], [3.0, 3.0]])
+        result = kspr(dataset, [1.0, 1.0], 2)
+        assert result.is_empty
+        assert result.impact_probability() == 0.0
+
+    def test_focal_dominates_everything_gives_whole_space(self):
+        dataset = Dataset([[0.2, 0.1], [0.1, 0.3]])
+        result = kspr(dataset, [0.9, 0.9], 1)
+        assert len(result) == 1
+        assert result.total_volume() == pytest.approx(1.0, abs=1e-6)
+        assert result.impact_probability() == pytest.approx(1.0, abs=1e-6)
+
+    def test_k_larger_than_dataset(self):
+        dataset = Dataset([[0.9, 0.1], [0.1, 0.9]])
+        result = kspr(dataset, [0.3, 0.3], 5)
+        assert result.impact_probability() == pytest.approx(1.0, abs=1e-6)
+
+    def test_focal_inside_dataset_is_ignored_as_competitor(self, small_ind_dataset):
+        focal = small_ind_dataset.values[7]
+        result = pcta(small_ind_dataset, focal, 3)
+        report = verify_result(result, small_ind_dataset, focal, 3, samples=400, rng=51)
+        # The focal ties with itself everywhere; ties are excluded from the
+        # rank (strictly-higher scores only), which verification reproduces.
+        assert report.is_consistent
+
+    def test_invalid_k_raises(self, small_ind_dataset):
+        from repro.exceptions import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            kspr(small_ind_dataset, small_ind_dataset.values[0], 0)
+
+    def test_unknown_method_raises(self, small_ind_dataset):
+        from repro.exceptions import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            kspr(small_ind_dataset, small_ind_dataset.values[0], 2, method="nope")
+
+    def test_raw_array_input_accepted(self):
+        values = np.random.default_rng(3).random((20, 3))
+        result = kspr(values, values[0] * 1.01, 2)
+        assert result.stats.algorithm.startswith("LP-CTA")

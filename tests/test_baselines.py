@@ -1,0 +1,122 @@
+"""Unit tests for the competitor implementations (RTOPK, iMaxRank, quad-tree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, lpcta, verify_result
+from repro.baselines import monochromatic_reverse_topk, rtopk_intervals
+from repro.baselines.quadtree import box_halfspaces, build_quadtree, iter_leaves
+from repro.baselines.maxrank import imaxrank
+from repro.data import independent_dataset
+from repro.exceptions import InvalidQueryError
+from repro.geometry.halfspace import build_hyperplane
+
+
+class TestRTopKIntervals:
+    def test_requires_two_dimensions(self):
+        dataset = independent_dataset(10, 3, seed=1)
+        with pytest.raises(InvalidQueryError):
+            rtopk_intervals(dataset, dataset.values[0], 2)
+
+    def test_simple_switching_point(self):
+        # One competitor better on attribute 2, focal better on attribute 1:
+        # the focal record is top-1 exactly when a (weight of attribute 1)
+        # exceeds the switching value.
+        dataset = Dataset([[0.2, 0.8]])
+        focal = np.array([0.8, 0.2])
+        intervals = rtopk_intervals(dataset, focal, 1)
+        assert len(intervals) == 1
+        low, high, rank = intervals[0]
+        assert rank == 1
+        assert low == pytest.approx(0.5)
+        assert high == pytest.approx(1.0)
+
+    def test_dominator_reduces_budget(self):
+        dataset = Dataset([[0.9, 0.9], [0.2, 0.8]])
+        focal = np.array([0.8, 0.2])
+        # k = 1 is impossible (a dominator always outscores the focal record).
+        assert rtopk_intervals(dataset, focal, 1) == []
+        # k = 2 reduces to the single-competitor case above.
+        intervals = rtopk_intervals(dataset, focal, 2)
+        assert len(intervals) == 1
+        assert intervals[0][0] == pytest.approx(0.5)
+
+    def test_interval_volume_matches_lpcta(self):
+        dataset = independent_dataset(150, 2, seed=8)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.97
+        sweep_result = monochromatic_reverse_topk(dataset, focal, 4)
+        celltree_result = lpcta(dataset, focal, 4)
+        assert sweep_result.total_volume() == pytest.approx(
+            celltree_result.total_volume(), abs=1e-6
+        )
+
+    def test_sweep_result_verifies(self):
+        dataset = independent_dataset(120, 2, seed=9)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.95
+        result = monochromatic_reverse_topk(dataset, focal, 3)
+        report = verify_result(result, dataset, focal, 3, samples=1000, rng=10)
+        assert report.is_consistent
+
+
+class TestQuadTree:
+    def test_box_halfspaces_bound_the_box(self):
+        low, high = np.array([0.1, 0.2]), np.array([0.5, 0.6])
+        halfspaces = box_halfspaces(low, high)
+        assert len(halfspaces) == 4
+        inside = np.array([0.3, 0.4])
+        outside = np.array([0.7, 0.4])
+        assert all(h.contains(inside) for h in halfspaces)
+        assert not all(h.contains(outside) for h in halfspaces)
+
+    def test_subdivision_respects_capacity(self):
+        dataset = independent_dataset(40, 3, seed=12)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.95
+        partition = dataset.partition_by_focal(focal)
+        hyperplanes = [
+            build_hyperplane(record.values, focal, record.record_id)
+            for record in partition.competitors
+        ]
+        root = build_quadtree(hyperplanes, 2, k=5, leaf_capacity=4, max_depth=5)
+        for leaf in iter_leaves(root):
+            assert len(leaf.crossing) <= 4 or leaf.depth == 5 or leaf.base_rank > 5
+
+    def test_base_rank_grows_monotonically_down_the_tree(self):
+        dataset = independent_dataset(30, 3, seed=13)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.9
+        partition = dataset.partition_by_focal(focal)
+        hyperplanes = [
+            build_hyperplane(record.values, focal, record.record_id)
+            for record in partition.competitors
+        ]
+        root = build_quadtree(hyperplanes, 2, k=10, leaf_capacity=2, max_depth=4)
+
+        def check(node):
+            for child in node.children:
+                assert child.base_rank >= node.base_rank
+                check(child)
+
+        check(root)
+
+
+class TestIMaxRank:
+    def test_matches_lpcta_on_medium_instance(self):
+        dataset = independent_dataset(60, 3, seed=14)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.96
+        baseline = imaxrank(dataset, focal, 3)
+        report = verify_result(baseline, dataset, focal, 3, samples=800, rng=15)
+        assert report.is_consistent
+
+    def test_empty_when_focal_is_hopeless(self):
+        dataset = Dataset([[0.9, 0.9], [0.8, 0.8]])
+        result = imaxrank(dataset, [0.1, 0.1], 1)
+        assert result.is_empty
+
+    def test_statistics_populated(self):
+        dataset = independent_dataset(40, 3, seed=16)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.95
+        result = imaxrank(dataset, focal, 2)
+        assert result.stats.algorithm == "iMaxRank"
+        assert result.stats.processed_records == result.stats.competitor_records
+        assert "quadtree" in result.stats.phase_seconds

@@ -1,0 +1,159 @@
+"""Unit tests for the CellTree structure and hyperplane insertion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.halfspace import Hyperplane, build_hyperplane
+from repro.geometry.linprog import LPCounters
+from repro.core.celltree import CellTree, CellTreeNode
+
+
+def _axis_hyperplane(axis: int, dimensionality: int, threshold: float, record_id: int = -1):
+    coefficients = np.zeros(dimensionality)
+    coefficients[axis] = 1.0
+    return Hyperplane(coefficients, threshold, record_id=record_id)
+
+
+class TestCellTreeBasics:
+    def test_initial_state(self):
+        tree = CellTree(2, k=3)
+        assert tree.root.is_leaf
+        assert tree.root.rank() == 1
+        assert tree.node_count() == 1
+        assert not tree.is_exhausted
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CellTree(0, k=1)
+        with pytest.raises(ValueError):
+            CellTree(2, k=0)
+
+    def test_single_insert_splits_root(self):
+        tree = CellTree(2, k=5)
+        tree.insert(_axis_hyperplane(0, 2, 0.4, record_id=0))
+        leaves = list(tree.iter_active_leaves())
+        assert len(leaves) == 2
+        assert tree.node_count() == 3
+        ranks = sorted(leaf.rank() for leaf in leaves)
+        assert ranks == [1, 2]
+
+    def test_hyperplane_outside_simplex_covers_root(self):
+        tree = CellTree(2, k=5)
+        # w_0 = 2 never intersects the simplex: the root is fully on the
+        # negative side, so the halfspace goes to the cover set.
+        tree.insert(_axis_hyperplane(0, 2, 2.0, record_id=0))
+        assert tree.root.is_leaf
+        assert len(tree.root.cover) == 1
+        assert not tree.root.cover[0].is_positive
+
+    def test_degenerate_hyperplane_covers_root(self):
+        tree = CellTree(1, k=2)
+        degenerate = build_hyperplane(np.array([2.0, 2.0]), np.array([1.0, 1.0]), record_id=3)
+        tree.insert(degenerate)
+        assert tree.root.is_leaf
+        assert tree.root.rank() == 2
+        assert tree.stats.degenerate_hyperplanes == 1
+
+    def test_rank_pruning_eliminates_nodes(self):
+        tree = CellTree(2, k=1)
+        # Three nested positive halfspaces around the centroid quickly push
+        # some cells past rank 1.
+        for index, threshold in enumerate((0.2, 0.25, 0.3)):
+            tree.insert(_axis_hyperplane(0, 2, threshold, record_id=index))
+        for leaf in tree.iter_active_leaves():
+            assert leaf.rank() <= 1
+
+    def test_all_cells_eliminated_exhausts_tree(self):
+        tree = CellTree(2, k=1)
+        # Every point of the simplex is above w_0 > -1 (positive side), so two
+        # such covering positive halfspaces exceed k = 1 everywhere.
+        tree.insert(_axis_hyperplane(0, 2, -1.0, record_id=0))
+        tree.insert(_axis_hyperplane(1, 2, -1.0, record_id=1))
+        assert tree.is_exhausted
+
+    def test_witness_shortcut_counted(self):
+        tree = CellTree(2, k=10)
+        for index, threshold in enumerate((0.3, 0.5, 0.7)):
+            tree.insert(_axis_hyperplane(0, 2, threshold, record_id=index))
+        assert tree.stats.witness_shortcuts > 0
+
+    def test_counters_shared_with_tree(self):
+        counters = LPCounters()
+        tree = CellTree(2, k=5, counters=counters)
+        tree.insert(_axis_hyperplane(0, 2, 0.4))
+        assert counters.total_calls > 0
+
+
+class TestPathAndCover:
+    def test_path_halfspaces_follow_root_path(self):
+        tree = CellTree(2, k=5)
+        tree.insert(_axis_hyperplane(0, 2, 0.4, record_id=0))
+        tree.insert(_axis_hyperplane(1, 2, 0.3, record_id=1))
+        for leaf in tree.iter_active_leaves():
+            path = leaf.path_halfspaces()
+            assert 1 <= len(path) <= 2
+            assert all(halfspace.record_id in (0, 1) for halfspace in path)
+            # The witness (when cached) must satisfy every path halfspace.
+            if leaf.witness is not None:
+                for halfspace in path:
+                    assert halfspace.contains(leaf.witness)
+
+    def test_cover_sets_recorded_for_non_cutting_hyperplanes(self):
+        tree = CellTree(2, k=10)
+        tree.insert(_axis_hyperplane(0, 2, 0.5, record_id=0))
+        # A hyperplane far outside the simplex covers both existing leaves.
+        tree.insert(_axis_hyperplane(1, 2, 5.0, record_id=1))
+        covered = [
+            node
+            for node in (tree.root, tree.root.left, tree.root.right)
+            if node is not None and node.cover
+        ]
+        assert covered, "the non-cutting hyperplane must land in some cover set"
+
+    def test_negative_record_ids(self):
+        tree = CellTree(2, k=10)
+        tree.insert(_axis_hyperplane(0, 2, 0.5, record_id=7))
+        left = tree.root.left
+        assert left is not None and not left.edge.is_positive
+        assert left.negative_record_ids() == {7}
+
+    def test_view_exposes_rank_and_pivots(self):
+        tree = CellTree(2, k=10)
+        tree.insert(_axis_hyperplane(0, 2, 0.5, record_id=7))
+        view = tree.view(tree.root.left)
+        assert view.rank == 1
+        assert view.pivot_ids == {7}
+        assert view.non_pivot_ids == set()
+        positive_view = tree.view(tree.root.right)
+        assert positive_view.rank == 2
+        assert positive_view.non_pivot_ids == {7}
+
+
+class TestDominanceShortcut:
+    def test_shortcut_adds_negative_halfspace_without_lp(self):
+        tree = CellTree(2, k=10)
+        # First record's negative halfspace labels the left child.
+        tree.insert(_axis_hyperplane(0, 2, 0.5, record_id=1))
+        counters_before = tree.counters.total_calls
+        # Second record is dominated by record 1 => its negative halfspace
+        # covers the left child without any LP call on that node.
+        tree.insert(_axis_hyperplane(0, 2, 0.8, record_id=2), dominator_ids={1})
+        assert tree.stats.dominance_shortcuts >= 1
+        left = tree.root.left
+        assert any(h.record_id == 2 and not h.is_positive for h in left.cover)
+
+
+class TestNodeHelpers:
+    def test_add_witness_caps_cache(self):
+        node = CellTreeNode(None, None)
+        for index in range(node.MAX_WITNESSES + 5):
+            node.add_witness(np.array([float(index)]))
+        assert len(node.witnesses) == node.MAX_WITNESSES
+        assert node.witness is not None
+
+    def test_memory_estimate_positive(self):
+        tree = CellTree(2, k=5)
+        tree.insert(_axis_hyperplane(0, 2, 0.4))
+        assert tree.memory_bytes() > 0

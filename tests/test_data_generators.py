@@ -1,0 +1,118 @@
+"""Unit tests for the workload generators (synthetic, surrogates, NBA seasons)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    anticorrelated_dataset,
+    correlated_dataset,
+    generate_nba_season,
+    hotel_surrogate,
+    house_surrogate,
+    howard_case_study,
+    independent_dataset,
+    nba_surrogate,
+    real_dataset,
+    restaurant_example,
+    synthetic_dataset,
+)
+from repro.data.realistic import REAL_DATASETS
+from repro.exceptions import InvalidDatasetError
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize("generator", [independent_dataset, correlated_dataset, anticorrelated_dataset])
+    def test_shapes_and_ranges(self, generator):
+        dataset = generator(200, 4, seed=1)
+        assert dataset.cardinality == 200
+        assert dataset.dimensionality == 4
+        assert np.all(dataset.values >= 0.0)
+        assert np.all(dataset.values <= 1.0)
+
+    @pytest.mark.parametrize("name", ["IND", "COR", "ANTI"])
+    def test_seed_reproducibility(self, name):
+        first = synthetic_dataset(name, 50, 3, seed=7)
+        second = synthetic_dataset(name, 50, 3, seed=7)
+        assert np.array_equal(first.values, second.values)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            independent_dataset(50, 3, seed=1).values,
+            independent_dataset(50, 3, seed=2).values,
+        )
+
+    def test_correlation_structure(self):
+        correlated = correlated_dataset(2000, 2, seed=3)
+        anti = anticorrelated_dataset(2000, 2, seed=3)
+        corr_coefficient = np.corrcoef(correlated.values.T)[0, 1]
+        anti_coefficient = np.corrcoef(anti.values.T)[0, 1]
+        assert corr_coefficient > 0.5
+        assert anti_coefficient < -0.2
+
+    def test_dispatch_rejects_unknown_name(self):
+        with pytest.raises(InvalidDatasetError):
+            synthetic_dataset("WEIRD", 10, 3)
+
+    def test_validation_errors(self):
+        with pytest.raises(InvalidDatasetError):
+            independent_dataset(-1, 3)
+        with pytest.raises(InvalidDatasetError):
+            independent_dataset(10, 1)
+        with pytest.raises(InvalidDatasetError):
+            correlated_dataset(10, 3, correlation=1.5)
+
+    def test_empty_datasets_supported(self):
+        for generator in (independent_dataset, correlated_dataset, anticorrelated_dataset):
+            assert generator(0, 3, seed=1).cardinality == 0
+
+    def test_restaurant_example_matches_paper(self):
+        dataset, kyma = restaurant_example()
+        assert dataset.cardinality == 4
+        assert dataset.dimensionality == 3
+        assert kyma.tolist() == [5.0, 5.0, 7.0]
+
+
+class TestRealSurrogates:
+    @pytest.mark.parametrize("name", ["HOTEL", "HOUSE", "NBA"])
+    def test_dimensionality_matches_table1(self, name):
+        dataset = real_dataset(name, cardinality=300, seed=5)
+        assert dataset.dimensionality == REAL_DATASETS[name]["dimensionality"]
+        assert dataset.cardinality == 300
+        assert np.all(np.isfinite(dataset.values))
+
+    def test_values_are_larger_is_better_normalised(self):
+        for surrogate in (hotel_surrogate(200, 1), house_surrogate(200, 1), nba_surrogate(200, 1)):
+            assert np.all(surrogate.values >= 0.0)
+            assert np.all(surrogate.values <= 1.0 + 1e-9)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidDatasetError):
+            real_dataset("MOVIES")
+
+    def test_house_more_correlated_than_hotel(self):
+        house = house_surrogate(1500, seed=2)
+        hotel = hotel_surrogate(1500, seed=2)
+        house_corr = np.mean(np.corrcoef(house.values.T)[np.triu_indices(6, k=1)])
+        hotel_corr = np.mean(np.corrcoef(hotel.values.T)[np.triu_indices(4, k=1)])
+        assert house_corr > hotel_corr
+
+
+class TestNBACaseStudy:
+    def test_two_seasons_generated(self):
+        first, second = howard_case_study(player_count=100)
+        assert first.dataset.cardinality == 100
+        assert second.dataset.cardinality == 100
+        assert first.label != second.label
+        assert first.attributes == ("points", "rebounds", "assists")
+
+    def test_focal_profiles_differ(self):
+        scoring = generate_nba_season("a", "scoring", 50, seed=1)
+        defensive = generate_nba_season("a", "defensive", 50, seed=1)
+        assert scoring.focal[0] > defensive.focal[0]  # more points
+        assert scoring.focal[1] < defensive.focal[1]  # fewer rebounds
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            generate_nba_season("a", "mystery", 10)

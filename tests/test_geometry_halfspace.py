@@ -1,0 +1,126 @@
+"""Unit tests for hyperplane / halfspace construction and the space transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError, InvalidQueryError
+from repro.geometry.halfspace import Halfspace, Hyperplane, build_halfspace, build_hyperplane
+from repro.geometry.transform import (
+    is_valid_transformed_point,
+    original_to_transformed,
+    random_weight_vectors,
+    transformed_to_original,
+)
+from repro.records import score
+
+
+def _vectors(dimension: int):
+    return st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+        min_size=dimension,
+        max_size=dimension,
+    ).map(np.array)
+
+
+class TestTransform:
+    def test_roundtrip(self):
+        weights = np.array([0.2, 0.3, 0.5])
+        transformed = original_to_transformed(weights)
+        assert transformed.tolist() == [0.2, 0.3]
+        assert transformed_to_original(transformed) == pytest.approx(weights)
+
+    def test_matrix_roundtrip(self):
+        weights = np.array([[0.2, 0.8], [0.6, 0.4]])
+        back = transformed_to_original(original_to_transformed(weights))
+        assert back == pytest.approx(weights)
+
+    def test_validity_check(self):
+        assert is_valid_transformed_point(np.array([0.2, 0.3]))
+        assert not is_valid_transformed_point(np.array([0.0, 0.3]))
+        assert not is_valid_transformed_point(np.array([0.7, 0.4]))
+
+    def test_rejects_one_dimensional_weights(self):
+        with pytest.raises(InvalidQueryError):
+            original_to_transformed(np.array([1.0]))
+
+    def test_random_weight_vectors_normalised(self):
+        vectors = random_weight_vectors(4, 200, rng=3)
+        assert vectors.shape == (200, 4)
+        assert np.all(vectors > 0)
+        assert np.allclose(vectors.sum(axis=1), 1.0)
+
+    def test_random_weight_vectors_validation(self):
+        with pytest.raises(InvalidQueryError):
+            random_weight_vectors(1, 5)
+        with pytest.raises(InvalidQueryError):
+            random_weight_vectors(3, -1)
+
+
+class TestHyperplane:
+    def test_build_hyperplane_coefficients(self):
+        record = np.array([9.0, 4.0, 4.0])
+        focal = np.array([5.0, 5.0, 7.0])
+        hyperplane = build_hyperplane(record, focal, record_id=2)
+        # Coefficients: (r_i - r_d) - (p_i - p_d) for i < d.
+        assert hyperplane.coefficients == pytest.approx([7.0, 2.0])
+        assert hyperplane.offset == pytest.approx(3.0)
+        assert hyperplane.record_id == 2
+
+    def test_degenerate_hyperplane(self):
+        hyperplane = build_hyperplane(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+        assert hyperplane.is_degenerate
+        # The shifted record always scores higher => the offset is negative.
+        assert hyperplane.offset < 0
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(GeometryError):
+            build_hyperplane(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+
+    def test_side_of(self):
+        hyperplane = Hyperplane(np.array([1.0, 0.0]), 0.5)
+        assert hyperplane.side_of(np.array([0.8, 0.1])) == "+"
+        assert hyperplane.side_of(np.array([0.2, 0.1])) == "-"
+        assert hyperplane.side_of(np.array([0.5, 0.1])) == "0"
+
+
+class TestHalfspace:
+    def test_sign_validation(self):
+        hyperplane = Hyperplane(np.array([1.0]), 0.0)
+        with pytest.raises(GeometryError):
+            Halfspace(hyperplane, "bogus")
+
+    def test_complement(self):
+        halfspace = Halfspace(Hyperplane(np.array([1.0]), 0.0), "+")
+        assert halfspace.complement().sign == "-"
+        assert halfspace.complement().complement().sign == "+"
+
+    def test_leq_constraint_orientation(self):
+        hyperplane = Hyperplane(np.array([2.0, -1.0]), 0.5)
+        positive_a, positive_b = Halfspace(hyperplane, "+").as_leq_constraint()
+        negative_a, negative_b = Halfspace(hyperplane, "-").as_leq_constraint()
+        assert positive_a == pytest.approx([-2.0, 1.0])
+        assert positive_b == pytest.approx(-0.5)
+        assert negative_a == pytest.approx([2.0, -1.0])
+        assert negative_b == pytest.approx(0.5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(record=_vectors(3), focal=_vectors(3))
+    def test_halfspace_matches_score_comparison(self, record, focal):
+        """Property: a weight vector lies in the positive halfspace iff the record
+        scores strictly higher than the focal record under that vector."""
+        hyperplane = build_hyperplane(record, focal)
+        rng = np.random.default_rng(0)
+        for weights in rng.dirichlet(np.ones(3), size=15):
+            transformed = original_to_transformed(weights)
+            difference = score(record, weights) - score(focal, weights)
+            if abs(difference) < 1e-9:
+                continue
+            expected_sign = "+" if difference > 0 else "-"
+            assert build_halfspace(record, focal, expected_sign).contains(transformed)
+            assert not build_halfspace(
+                record, focal, "+" if expected_sign == "-" else "-"
+            ).contains(transformed)

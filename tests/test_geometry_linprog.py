@@ -1,0 +1,115 @@
+"""Unit tests for the LP substrate (feasibility, optimisation, counters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.halfspace import Halfspace, Hyperplane
+from repro.geometry.linprog import (
+    LPCounters,
+    cell_feasible,
+    chebyshev_center,
+    maximize_linear,
+    minimize_linear,
+    preference_space_constraints,
+)
+
+
+def _axis_halfspace(axis: int, dimensionality: int, threshold: float, sign: str) -> Halfspace:
+    coefficients = np.zeros(dimensionality)
+    coefficients[axis] = 1.0
+    return Halfspace(Hyperplane(coefficients, threshold), sign)
+
+
+class TestPreferenceSpaceConstraints:
+    def test_constraint_count(self):
+        constraints = preference_space_constraints(3)
+        assert len(constraints) == 4  # one per axis plus the sum constraint
+
+    def test_simplex_centroid_satisfies_all(self):
+        dimensionality = 3
+        point = np.full(dimensionality, 1.0 / (dimensionality + 1))
+        for coefficients, bound in preference_space_constraints(dimensionality):
+            assert float(coefficients @ point) <= bound + 1e-12
+
+
+class TestCellFeasible:
+    def test_whole_space_is_feasible(self):
+        outcome = cell_feasible([], 2)
+        assert outcome.feasible
+        assert outcome.witness is not None
+        assert np.all(outcome.witness > 0)
+        assert outcome.witness.sum() < 1
+
+    def test_empty_intersection_detected(self):
+        above = _axis_halfspace(0, 2, 0.7, "+")
+        below = _axis_halfspace(0, 2, 0.3, "-")
+        outcome = cell_feasible([above, below], 2)
+        assert not outcome.feasible
+
+    def test_zero_width_slab_is_infeasible(self):
+        """Open halfspaces sharing a boundary have empty interior."""
+        above = _axis_halfspace(0, 2, 0.5, "+")
+        below = _axis_halfspace(0, 2, 0.5, "-")
+        assert not cell_feasible([above, below], 2).feasible
+
+    def test_witness_lies_inside_all_halfspaces(self):
+        halfspaces = [
+            _axis_halfspace(0, 2, 0.2, "+"),
+            _axis_halfspace(1, 2, 0.4, "-"),
+        ]
+        outcome = cell_feasible(halfspaces, 2)
+        assert outcome.feasible
+        for halfspace in halfspaces:
+            assert halfspace.contains(outcome.witness)
+
+    def test_outside_preference_space_is_infeasible(self):
+        # w_0 > 0.6 and w_1 > 0.6 cannot both hold inside the simplex.
+        halfspaces = [
+            _axis_halfspace(0, 2, 0.6, "+"),
+            _axis_halfspace(1, 2, 0.6, "+"),
+        ]
+        assert not cell_feasible(halfspaces, 2).feasible
+        # ... but it is feasible when the simplex bound is dropped.
+        assert cell_feasible(halfspaces, 2, include_space_bounds=False).feasible
+
+    def test_counters_record_calls_and_constraints(self):
+        counters = LPCounters()
+        cell_feasible([_axis_halfspace(0, 2, 0.5, "+")], 2, counters=counters)
+        assert counters.feasibility_calls == 1
+        assert counters.optimize_calls == 0
+        assert counters.total_constraints == 1 + 3  # one halfspace + space bounds
+        assert counters.total_calls == 1
+
+    def test_counters_merge(self):
+        first, second = LPCounters(1, 2, 3), LPCounters(4, 5, 6)
+        first.merge(second)
+        assert (first.feasibility_calls, first.optimize_calls, first.total_constraints) == (5, 7, 9)
+
+
+class TestOptimize:
+    def test_minimize_and_maximize_on_simplex(self):
+        objective = np.array([1.0, 0.0])
+        low = minimize_linear(objective, [], 2)
+        high = maximize_linear(objective, [], 2)
+        assert low.value == pytest.approx(0.0, abs=1e-8)
+        assert high.value == pytest.approx(1.0, abs=1e-8)
+
+    def test_constrained_maximum(self):
+        below = _axis_halfspace(0, 2, 0.25, "-")
+        outcome = maximize_linear(np.array([1.0, 0.0]), [below], 2)
+        assert outcome.value == pytest.approx(0.25, abs=1e-8)
+
+    def test_optimize_counter(self):
+        counters = LPCounters()
+        minimize_linear(np.array([1.0, 1.0]), [], 2, counters=counters)
+        assert counters.optimize_calls == 1
+        assert counters.feasibility_calls == 0
+
+
+class TestChebyshevCenter:
+    def test_center_of_simplex_has_positive_margin(self):
+        outcome = chebyshev_center([], 2)
+        assert outcome.feasible
+        assert outcome.margin > 0.1

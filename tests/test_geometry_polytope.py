@@ -1,0 +1,128 @@
+"""Unit tests for exact cell geometry (halfspace intersection) and arrangements."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry.arrangement import enumerate_arrangement
+from repro.geometry.halfspace import Halfspace, Hyperplane, build_hyperplane
+from repro.geometry.polytope import intersect_halfspaces, simplex_volume
+
+
+def _axis_halfspace(axis: int, dimensionality: int, threshold: float, sign: str) -> Halfspace:
+    coefficients = np.zeros(dimensionality)
+    coefficients[axis] = 1.0
+    return Halfspace(Hyperplane(coefficients, threshold), sign)
+
+
+class TestSimplexVolume:
+    def test_known_values(self):
+        assert simplex_volume(1) == pytest.approx(1.0)
+        assert simplex_volume(2) == pytest.approx(0.5)
+        assert simplex_volume(3) == pytest.approx(1.0 / 6.0)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(GeometryError):
+            simplex_volume(0)
+
+
+class TestIntersectHalfspaces:
+    def test_whole_simplex_in_two_dimensions(self):
+        geometry = intersect_halfspaces([], 2)
+        assert geometry.volume == pytest.approx(0.5, abs=1e-9)
+        assert geometry.vertices.shape[1] == 2
+
+    def test_half_of_the_simplex(self):
+        # w_0 < 0.5 cuts the triangle into a trapezoid of area 3/8.
+        geometry = intersect_halfspaces([_axis_halfspace(0, 2, 0.5, "-")], 2)
+        assert geometry.volume == pytest.approx(0.375, abs=1e-9)
+
+    def test_one_dimensional_interval(self):
+        above = _axis_halfspace(0, 1, 0.2, "+")
+        below = _axis_halfspace(0, 1, 0.7, "-")
+        geometry = intersect_halfspaces([above, below], 1)
+        assert geometry.volume == pytest.approx(0.5)
+        assert sorted(geometry.vertices.ravel().tolist()) == pytest.approx([0.2, 0.7])
+
+    def test_empty_cell_raises(self):
+        above = _axis_halfspace(0, 2, 0.7, "+")
+        below = _axis_halfspace(0, 2, 0.3, "-")
+        with pytest.raises(GeometryError):
+            intersect_halfspaces([above, below], 2)
+
+    def test_empty_interval_raises(self):
+        above = _axis_halfspace(0, 1, 0.7, "+")
+        below = _axis_halfspace(0, 1, 0.3, "-")
+        with pytest.raises(GeometryError):
+            intersect_halfspaces([above, below], 1)
+
+    def test_three_dimensional_volume(self):
+        geometry = intersect_halfspaces([], 3)
+        assert geometry.volume == pytest.approx(1.0 / 6.0, abs=1e-9)
+
+    def test_volumes_of_complementary_cells_sum_to_simplex(self):
+        hyperplane = Hyperplane(np.array([1.0, -1.0]), 0.1)
+        positive = intersect_halfspaces([Halfspace(hyperplane, "+")], 2)
+        negative = intersect_halfspaces([Halfspace(hyperplane, "-")], 2)
+        assert positive.volume + negative.volume == pytest.approx(0.5, abs=1e-9)
+
+
+class TestArrangementEnumeration:
+    def test_single_hyperplane_produces_two_cells(self):
+        hyperplane = Hyperplane(np.array([1.0, 0.0]), 0.3)
+        cells = enumerate_arrangement([hyperplane], 2)
+        assert len(cells) == 2
+        assert sorted(cell.signs for cell in cells) == [("+",), ("-",)]
+
+    def test_parallel_hyperplanes(self):
+        hyperplanes = [
+            Hyperplane(np.array([1.0, 0.0]), 0.2),
+            Hyperplane(np.array([1.0, 0.0]), 0.6),
+        ]
+        cells = enumerate_arrangement(hyperplanes, 2)
+        # Three slabs: (-,-), (+,-), (+,+); the (-,+) combination is empty.
+        assert len(cells) == 3
+        assert ("-", "+") not in {cell.signs for cell in cells}
+
+    def test_degenerate_hyperplane_contributes_constant_sign(self):
+        degenerate = build_hyperplane(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+        cells = enumerate_arrangement([degenerate], 1)
+        assert len(cells) == 1
+        assert cells[0].signs == ("+",)
+        assert cells[0].rank == 2
+
+    def test_rank_counts_positive_signs(self):
+        hyperplanes = [
+            Hyperplane(np.array([1.0, 0.0]), 0.3),
+            Hyperplane(np.array([0.0, 1.0]), 0.3),
+        ]
+        cells = enumerate_arrangement(hyperplanes, 2)
+        ranks = {cell.signs: cell.rank for cell in cells}
+        assert ranks[("-", "-")] == 1
+        assert ranks[("+", "+")] == 3
+
+    def test_max_cells_guard(self):
+        hyperplanes = [Hyperplane(np.array([1.0, 0.1 * i]), 0.3 + 0.05 * i) for i in range(5)]
+        with pytest.raises(RuntimeError):
+            enumerate_arrangement(hyperplanes, 2, max_cells=3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10_000))
+    def test_witnesses_match_signs(self, count, seed):
+        """Property: every enumerated cell's witness point realises its sign vector."""
+        rng = np.random.default_rng(seed)
+        hyperplanes = [
+            Hyperplane(rng.normal(size=2), float(rng.uniform(-0.2, 0.6))) for _ in range(count)
+        ]
+        hyperplanes = [h for h in hyperplanes if not h.is_degenerate]
+        cells = enumerate_arrangement(hyperplanes, 2)
+        assert cells, "the arrangement always has at least one cell"
+        for cell in cells:
+            for hyperplane, sign in zip(hyperplanes, cell.signs):
+                assert Halfspace(hyperplane, sign).contains(cell.witness)

@@ -1,0 +1,110 @@
+"""Unit tests for the aggregate R-tree and MBRs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import independent_dataset
+from repro.exceptions import GeometryError, InvalidDatasetError
+from repro.index.mbr import MBR
+from repro.index.rtree import AggregateRTree
+from repro.records import Dataset
+
+
+class TestMBR:
+    def test_of_and_corners(self):
+        points = np.array([[1.0, 5.0], [3.0, 2.0]])
+        mbr = MBR.of(points)
+        assert mbr.min_corner.tolist() == [1.0, 2.0]
+        assert mbr.max_corner.tolist() == [3.0, 5.0]
+        assert mbr.dimensionality == 2
+
+    def test_invalid_corners(self):
+        with pytest.raises(GeometryError):
+            MBR(np.array([2.0]), np.array([1.0]))
+
+    def test_union_and_contains(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBR(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+        union = a.union(b)
+        assert union.low.tolist() == [0.0, -1.0]
+        assert union.high.tolist() == [3.0, 1.0]
+        assert union.contains_point(np.array([1.5, 0.0]))
+        assert not a.contains_point(np.array([1.5, 0.0]))
+
+    def test_dominated_by(self):
+        mbr = MBR(np.array([0.1, 0.1]), np.array([0.4, 0.4]))
+        assert mbr.dominated_by(np.array([0.5, 0.5]))
+        assert not mbr.dominated_by(np.array([0.5, 0.3]))
+
+    def test_score_bounds(self):
+        mbr = MBR(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        weights = np.array([0.5, 0.5])
+        assert mbr.lower_score(weights) == pytest.approx(0.5)
+        assert mbr.upper_score(weights) == pytest.approx(1.5)
+
+
+class TestAggregateRTree:
+    def test_counts_and_coverage(self, small_ind_dataset):
+        tree = AggregateRTree(small_ind_dataset, fanout=8)
+        assert tree.root.count == small_ind_dataset.cardinality
+        positions = tree.records_under(tree.root)
+        assert sorted(positions.tolist()) == list(range(small_ind_dataset.cardinality))
+
+    def test_leaf_capacity_respected(self, small_ind_dataset):
+        tree = AggregateRTree(small_ind_dataset, fanout=8)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                assert len(node.record_positions) <= 8
+            else:
+                assert len(node.children) <= 8
+
+    def test_mbr_containment_invariant(self, small_ind_dataset):
+        """Every node's MBR contains the MBRs of its children / its records."""
+        tree = AggregateRTree(small_ind_dataset, fanout=8)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                values = tree.record_values(node.record_positions)
+                assert np.all(values >= node.mbr.low - 1e-12)
+                assert np.all(values <= node.mbr.high + 1e-12)
+            else:
+                assert node.count == sum(child.count for child in node.children)
+                for child in node.children:
+                    assert np.all(child.mbr.low >= node.mbr.low - 1e-12)
+                    assert np.all(child.mbr.high <= node.mbr.high + 1e-12)
+
+    def test_io_counter(self, small_ind_dataset):
+        tree = AggregateRTree(small_ind_dataset, fanout=8)
+        assert tree.io.node_reads == 0
+        tree.visit(tree.root)
+        tree.visit(tree.root)
+        assert tree.io.node_reads == 2
+        tree.io.reset()
+        assert tree.io.node_reads == 0
+
+    def test_empty_dataset(self):
+        tree = AggregateRTree(Dataset(np.empty((0, 3))))
+        assert tree.root.count == 0
+        assert tree.root.is_leaf
+
+    def test_single_record(self):
+        tree = AggregateRTree(Dataset([[0.5, 0.5]]))
+        assert tree.root.count == 1
+        assert tree.height == 1
+
+    def test_invalid_fanout(self, small_ind_dataset):
+        with pytest.raises(InvalidDatasetError):
+            AggregateRTree(small_ind_dataset, fanout=1)
+
+    def test_build_time_and_memory_reported(self):
+        dataset = independent_dataset(500, 4, seed=9)
+        tree = AggregateRTree(dataset)
+        assert tree.build_seconds >= 0.0
+        assert tree.memory_bytes() > 0
+        assert tree.node_count() >= 1
+
+    def test_plain_rtree_flag(self, small_ind_dataset):
+        tree = AggregateRTree(small_ind_dataset, aggregate=False)
+        assert tree.aggregate is False
+        assert tree.root.count == small_ind_dataset.cardinality

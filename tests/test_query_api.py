@@ -1,0 +1,111 @@
+"""Tests for the public query API, the verification oracle and the CLI glue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, available_methods, kspr, verify_result
+from repro.core.verify import VerificationReport, rank_under_weights
+from repro.data import independent_dataset, restaurant_example
+from repro.exceptions import InvalidQueryError
+from repro.experiments.__main__ import main as experiments_cli
+from repro.experiments.report import render_runs
+from repro.experiments.metrics import MeasuredRun
+
+
+class TestKsprDispatch:
+    def test_available_methods(self):
+        names = available_methods()
+        assert {"cta", "pcta", "lpcta", "op-cta", "olp-cta"} <= set(names)
+
+    @pytest.mark.parametrize("spelling", ["LPCTA", "lpcta", "lp_cta", " lpcta "])
+    def test_method_name_normalisation(self, spelling, restaurants):
+        dataset, kyma = restaurants
+        result = kspr(dataset, kyma, 3, method=spelling)
+        assert result.stats.algorithm.startswith("LP-CTA")
+
+    def test_bounds_mode_string_forwarded(self, restaurants):
+        dataset, kyma = restaurants
+        result = kspr(dataset, kyma, 3, method="lpcta", bounds_mode="group")
+        assert result.stats.algorithm == "LP-CTA[group]"
+
+    def test_finalize_geometry_can_be_disabled(self, restaurants):
+        dataset, kyma = restaurants
+        result = kspr(dataset, kyma, 3, finalize_geometry=False)
+        assert all(region.geometry is None for region in result.regions)
+        # Geometry can still be computed lazily afterwards.
+        assert result.total_volume() > 0
+
+    def test_low_dimensional_dataset_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            kspr(Dataset([[1.0], [2.0]]), [1.5], 1)
+
+    def test_focal_shape_validated(self, small_ind_dataset):
+        with pytest.raises(InvalidQueryError):
+            kspr(small_ind_dataset, np.ones((2, 2)), 2)
+
+
+class TestVerification:
+    def test_rank_under_weights_matches_dataset_rank(self, small_ind_dataset):
+        weights = np.full(3, 1.0 / 3.0)
+        focal = small_ind_dataset.values[5]
+        expected = small_ind_dataset.rank_of(focal, weights)
+        assert rank_under_weights(small_ind_dataset, focal, weights) == expected
+
+    def test_report_flags_wrong_results(self):
+        dataset, kyma = restaurant_example()
+        correct = kspr(dataset, kyma, 3)
+        # Deliberately answer the wrong query (k=1 regions for a k=3 check):
+        # the verifier must flag missing coverage (false negatives).
+        wrong = kspr(dataset, kyma, 1)
+        report = verify_result(wrong, dataset, kyma, 3, samples=1000, rng=2)
+        assert not report.is_consistent
+        assert report.false_negatives
+        assert not report.false_positives  # k=1 regions are a subset of k=3 ones
+        # And the correct answer passes the same check.
+        assert verify_result(correct, dataset, kyma, 3, samples=1000, rng=2).is_consistent
+
+    def test_report_counters_add_up(self):
+        dataset = independent_dataset(30, 3, seed=3)
+        focal = dataset.values[int(np.argmax(dataset.values.sum(axis=1)))] * 0.97
+        result = kspr(dataset, focal, 2)
+        report = verify_result(result, dataset, focal, 2, samples=300, rng=5)
+        assert isinstance(report, VerificationReport)
+        assert report.checked + report.skipped_boundary == report.samples
+        assert report.mismatches == len(report.false_positives) + len(report.false_negatives)
+
+
+class TestCliAndReporting:
+    def test_cli_lists_figures(self, capsys):
+        assert experiments_cli([]) == 0
+        output = capsys.readouterr().out
+        assert "fig10b" in output
+        assert "fig22" in output
+
+    def test_cli_runs_a_table(self, capsys):
+        assert experiments_cli(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "HOTEL" in output
+
+    def test_render_runs_ad_hoc(self):
+        runs = [MeasuredRun("X", {"k": 1}, {"metric": 2.0})]
+        rendered = render_runs("title", ["method", "k", "metric"], runs)
+        assert rendered.startswith("title")
+        assert "X" in rendered
+
+
+class TestResultContainer:
+    def test_indexing_and_iteration(self, restaurants):
+        dataset, kyma = restaurants
+        result = kspr(dataset, kyma, 3)
+        assert len(list(result)) == len(result)
+        assert result[0] is result.regions[0]
+        assert not result.is_empty
+
+    def test_ranks_include_dominators(self):
+        # Two records dominate the focal one, so its best possible rank is 3.
+        dataset = Dataset([[5.0, 5.0], [4.0, 4.0], [0.5, 2.0], [2.0, 0.5]])
+        result = kspr(dataset, [1.0, 1.0], 4)
+        assert not result.is_empty
+        assert all(region.rank >= 3 for region in result.regions)

@@ -1,0 +1,137 @@
+"""Unit tests for the record / dataset containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, InvalidDatasetError, Record
+from repro.records import FocalPartition, dominates, score, scores
+
+
+class TestScore:
+    def test_score_is_dot_product(self):
+        assert score(np.array([1.0, 2.0, 3.0]), np.array([0.5, 0.25, 0.25])) == pytest.approx(1.75)
+
+    def test_scores_vectorised_matches_scalar(self):
+        matrix = np.arange(12, dtype=float).reshape(4, 3)
+        weights = np.array([0.2, 0.3, 0.5])
+        expected = [score(row, weights) for row in matrix]
+        assert scores(matrix, weights) == pytest.approx(expected)
+
+
+class TestRecord:
+    def test_dimensionality_and_iteration(self):
+        record = Record(7, np.array([1.0, 2.0]))
+        assert record.dimensionality == 2
+        assert list(record) == [1.0, 2.0]
+        assert len(record) == 2
+
+    def test_rejects_non_finite_values(self):
+        with pytest.raises(InvalidDatasetError):
+            Record(0, np.array([1.0, np.nan]))
+
+    def test_rejects_matrix_values(self):
+        with pytest.raises(InvalidDatasetError):
+            Record(0, np.ones((2, 2)))
+
+    def test_dominates(self):
+        a = Record(0, np.array([2.0, 3.0]))
+        b = Record(1, np.array([2.0, 1.0]))
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+
+class TestDominates:
+    def test_strict_improvement_required(self):
+        assert not dominates(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+        assert dominates(np.array([1.0, 2.0]), np.array([1.0, 1.0]))
+
+    def test_incomparable_records(self):
+        assert not dominates(np.array([2.0, 0.0]), np.array([0.0, 2.0]))
+        assert not dominates(np.array([0.0, 2.0]), np.array([2.0, 0.0]))
+
+
+class TestDatasetBasics:
+    def test_shape_and_ids(self):
+        dataset = Dataset([[1, 2], [3, 4], [5, 6]])
+        assert dataset.cardinality == 3
+        assert dataset.dimensionality == 2
+        assert list(dataset.ids) == [0, 1, 2]
+
+    def test_custom_ids_must_be_unique(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1, 2], [3, 4]], ids=[5, 5])
+
+    def test_custom_ids_roundtrip(self):
+        dataset = Dataset([[1, 2], [3, 4]], ids=[10, 20])
+        assert dataset.record_by_id(20).values.tolist() == [3, 4]
+        with pytest.raises(KeyError):
+            dataset.record_by_id(99)
+
+    def test_values_are_read_only(self):
+        dataset = Dataset([[1, 2]])
+        with pytest.raises(ValueError):
+            dataset.values[0, 0] = 9.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0, float("nan")]])
+
+    def test_single_record_promoted_to_matrix(self):
+        dataset = Dataset([1.0, 2.0, 3.0])
+        assert dataset.cardinality == 1
+        assert dataset.dimensionality == 3
+
+    def test_iteration_yields_records(self):
+        dataset = Dataset([[1, 2], [3, 4]])
+        records = list(dataset)
+        assert all(isinstance(record, Record) for record in records)
+        assert records[1].record_id == 1
+
+    def test_subset_and_without_ids(self):
+        dataset = Dataset([[1, 2], [3, 4], [5, 6]], ids=[7, 8, 9])
+        subset = dataset.subset([0, 2])
+        assert list(subset.ids) == [7, 9]
+        remaining = dataset.without_ids([8])
+        assert list(remaining.ids) == [7, 9]
+
+
+class TestTopKAndRank:
+    def test_top_k_ordering(self):
+        dataset = Dataset([[1, 0], [0, 1], [0.6, 0.6]])
+        weights = np.array([0.5, 0.5])
+        assert dataset.top_k(weights, 1) == [2]
+        assert set(dataset.top_k(weights, 3)) == {0, 1, 2}
+        assert dataset.top_k(weights, 0) == []
+
+    def test_rank_of_counts_strictly_higher(self):
+        dataset = Dataset([[1, 0], [0, 1], [0.6, 0.6]])
+        weights = np.array([0.5, 0.5])
+        assert dataset.rank_of(np.array([0.7, 0.7]), weights) == 1
+        assert dataset.rank_of(np.array([0.1, 0.1]), weights) == 4
+
+
+class TestFocalPartition:
+    def test_partition_counts(self, restaurants):
+        dataset, focal = restaurants
+        partition = dataset.partition_by_focal(focal)
+        assert isinstance(partition, FocalPartition)
+        # In the Figure 1 example no restaurant dominates Kyma and La Braceria
+        # is dominated by it.
+        assert partition.dominators == 0
+        assert partition.dominated == 1
+        assert partition.competitors.cardinality == 3
+
+    def test_effective_k(self):
+        dataset = Dataset([[2, 2], [0, 0], [1, 1]])
+        partition = dataset.partition_by_focal(np.array([1.0, 1.0]))
+        assert partition.dominators == 1
+        assert partition.dominated == 2  # the (0,0) record plus the exact duplicate
+        assert partition.effective_k(3) == 2
+
+    def test_dimension_mismatch_raises(self):
+        dataset = Dataset([[1, 2, 3]])
+        with pytest.raises(InvalidDatasetError):
+            dataset.partition_by_focal(np.array([1.0, 2.0]))
