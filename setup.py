@@ -1,7 +1,9 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Setup shim for legacy tooling.
 
-All project metadata lives in ``pyproject.toml``; this file only enables
-legacy editable installs (``pip install -e . --no-use-pep517``).
+All project metadata lives in ``pyproject.toml`` (src layout, dependencies,
+optional ``[test]`` extra); this file only enables legacy editable installs
+(``pip install -e . --no-use-pep517`` or ``--no-build-isolation`` in offline
+environments where the PEP 517 build backend cannot be fetched).
 """
 
 from setuptools import setup

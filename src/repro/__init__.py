@@ -28,10 +28,14 @@ True
 True
 
 The main algorithms are exposed both through :func:`kspr` (method dispatch)
-and directly as :func:`cta`, :func:`pcta` and :func:`lpcta`.  Baselines,
-workload generators, market-impact analysis and the full experiment harness
-live in the :mod:`repro.baselines`, :mod:`repro.data`, :mod:`repro.analysis`
-and :mod:`repro.experiments` subpackages.
+and directly as :func:`cta`, :func:`pcta` and :func:`lpcta`.  For serving
+many queries over one dataset, :class:`repro.engine.Engine` amortises the
+per-query preparation (k-skyband, dominance counts, competitor indexes),
+caches results, executes batches concurrently and supports incremental
+record insertion / deletion.  Baselines, workload generators, market-impact
+analysis and the full experiment harness live in the
+:mod:`repro.baselines`, :mod:`repro.data`, :mod:`repro.analysis` and
+:mod:`repro.experiments` subpackages.
 """
 
 from .core import (
@@ -48,6 +52,7 @@ from .core import (
     rank_under_weights,
     verify_result,
 )
+from .engine import Engine, QueryBatch, Workload, generate_workload, replay
 from .exceptions import (
     GeometryError,
     InvalidDatasetError,
@@ -57,11 +62,16 @@ from .exceptions import (
 )
 from .records import Dataset, Record
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Dataset",
     "Record",
+    "Engine",
+    "QueryBatch",
+    "Workload",
+    "generate_workload",
+    "replay",
     "kspr",
     "cta",
     "pcta",

@@ -11,6 +11,12 @@ Every algorithm follows the same outer structure:
 
 :class:`QueryContext` carries that shared state; :func:`prepare_context` and
 :func:`build_result` implement steps 1–2 and 4.
+
+Steps 1–2 are exactly the work that repeats across queries sharing a dataset
+and focal record.  :class:`PreparedQuery` captures their output (the focal
+partition, the competitor R-tree and a hyperplane cache) so a serving layer —
+see :mod:`repro.engine` — can compute them once and replay many queries
+against the prepared state.
 """
 
 from __future__ import annotations
@@ -29,7 +35,13 @@ from ..records import Dataset, FocalPartition
 from .celltree import CellTree
 from .result import KSPRResult, PreferenceRegion, QueryStats
 
-__all__ = ["QueryContext", "ReportedCell", "prepare_context", "build_result"]
+__all__ = [
+    "QueryContext",
+    "ReportedCell",
+    "PreparedQuery",
+    "prepare_context",
+    "build_result",
+]
 
 #: Identifier used for the two preference-space representations.
 TRANSFORMED_SPACE = "transformed"
@@ -43,6 +55,29 @@ class ReportedCell:
     halfspaces: tuple[Halfspace, ...]
     rank: int
     witness: np.ndarray | None
+
+
+@dataclass
+class PreparedQuery:
+    """Precomputed per-(dataset, focal) state shared across many queries.
+
+    Produced by :class:`repro.engine.Engine` (or any caller that wants to
+    amortise query setup) and consumed by :func:`prepare_context`:
+
+    * ``partition`` replaces the per-query focal partitioning.  Its competitor
+      set may be a *pruned* subset of the true competitors (e.g. restricted to
+      the k-skyband, which Lemma 6 shows cannot change the answer), as long as
+      ``dominators`` is the exact dominator count of the full dataset.
+    * ``tree`` is an already-built aggregate R-tree over exactly
+      ``partition.competitors`` — its build time is *not* charged to the query.
+    * ``hyperplane_cache`` (optional) shares the record → hyperplane map
+      across queries with the same focal record, since a hyperplane depends
+      only on the record values and the focal values.
+    """
+
+    partition: FocalPartition
+    tree: AggregateRTree
+    hyperplane_cache: dict[int, Hyperplane] | None = None
 
 
 @dataclass
@@ -60,6 +95,9 @@ class QueryContext:
     counters: LPCounters
     space: str = TRANSFORMED_SPACE
     started_at: float = field(default_factory=time.perf_counter)
+    #: R-tree node accesses already on the (possibly shared) counter when this
+    #: query started; per-query I/O is reported as the delta past this mark.
+    io_reads_start: int = 0
     _hyperplanes: dict[int, Hyperplane] = field(default_factory=dict)
 
     @property
@@ -106,8 +144,14 @@ def prepare_context(
     algorithm: str,
     space: str = TRANSFORMED_SPACE,
     fanout: int = 32,
+    prepared: PreparedQuery | None = None,
 ) -> QueryContext:
-    """Validate inputs and assemble the shared query state."""
+    """Validate inputs and assemble the shared query state.
+
+    When ``prepared`` is given, the focal partition and competitor R-tree are
+    taken from it instead of being recomputed, and ``index_build_seconds`` is
+    reported as zero — the build cost was paid once, ahead of time.
+    """
     if k < 1:
         raise InvalidQueryError("k must be a positive integer")
     if space not in (TRANSFORMED_SPACE, ORIGINAL_SPACE):
@@ -123,16 +167,20 @@ def prepare_context(
     stats = QueryStats(algorithm=algorithm)
     counters = stats.lp
 
-    partition = dataset.partition_by_focal(focal_array)
-    competitors = partition.competitors
+    if prepared is not None:
+        partition = prepared.partition
+        competitors = partition.competitors
+        tree = prepared.tree
+    else:
+        partition = dataset.partition_by_focal(focal_array)
+        competitors = partition.competitors
+        build_start = time.perf_counter()
+        tree = AggregateRTree(competitors, fanout=fanout)
+        stats.index_build_seconds = time.perf_counter() - build_start
     stats.competitor_records = competitors.cardinality
     stats.dominator_records = partition.dominators
 
-    build_start = time.perf_counter()
-    tree = AggregateRTree(competitors, fanout=fanout)
-    stats.index_build_seconds = time.perf_counter() - build_start
-
-    return QueryContext(
+    context = QueryContext(
         dataset=dataset,
         focal=focal_array,
         k=k,
@@ -143,7 +191,11 @@ def prepare_context(
         stats=stats,
         counters=counters,
         space=space,
+        io_reads_start=tree.io.node_reads,
     )
+    if prepared is not None and prepared.hyperplane_cache is not None:
+        context._hyperplanes = prepared.hyperplane_cache
+    return context
 
 
 def build_result(
@@ -157,7 +209,7 @@ def build_result(
     if celltree is not None:
         stats.celltree_nodes = celltree.node_count()
         stats.space_bytes = celltree.memory_bytes() + context.tree.memory_bytes()
-    stats.index_node_accesses = context.tree.io.node_reads
+    stats.index_node_accesses = context.tree.io.node_reads - context.io_reads_start
 
     regions = [
         PreferenceRegion(

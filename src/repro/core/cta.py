@@ -19,7 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..records import Dataset
-from .base import ReportedCell, build_result, prepare_context
+from .base import PreparedQuery, ReportedCell, build_result, prepare_context
 from .result import KSPRResult
 
 __all__ = ["cta"]
@@ -31,6 +31,7 @@ def cta(
     k: int,
     space: str = "transformed",
     finalize_geometry: bool = True,
+    prepared: PreparedQuery | None = None,
 ) -> KSPRResult:
     """Answer a kSPR query with the basic Cell Tree Approach.
 
@@ -47,8 +48,13 @@ def cta(
         Appendix C variant operating on polyhedral cones.
     finalize_geometry:
         Whether to run the exact-geometry finalisation step on result regions.
+    prepared:
+        Optional :class:`~repro.core.base.PreparedQuery` with precomputed
+        partition / index state (see :mod:`repro.engine`).
     """
-    context = prepare_context(dataset, focal, k, algorithm="CTA", space=space)
+    context = prepare_context(
+        dataset, focal, k, algorithm="CTA", space=space, prepared=prepared
+    )
     if context.effective_k < 1:
         return build_result(context, [], None, finalize_geometry)
 

@@ -17,7 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from ..records import Dataset
-from .base import prepare_context
+from .base import PreparedQuery, prepare_context
 from .bounds import BoundsMode, TransformedBoundEvaluator
 from .progressive import run_progressive
 from .result import KSPRResult
@@ -31,6 +31,7 @@ def lpcta(
     k: int,
     bounds_mode: BoundsMode | str = BoundsMode.FAST,
     finalize_geometry: bool = True,
+    prepared: PreparedQuery | None = None,
 ) -> KSPRResult:
     """Answer a kSPR query with the Look-ahead Progressive Cell Tree Approach.
 
@@ -40,10 +41,15 @@ def lpcta(
         ``"fast"`` (default, full LP-CTA), ``"group"`` (group bounds only) or
         ``"record"`` (per-record bounds only) — the three configurations
         compared in Figure 18 of the paper.
+    prepared:
+        Optional :class:`~repro.core.base.PreparedQuery` with precomputed
+        partition / index state (see :mod:`repro.engine`).
     """
     if isinstance(bounds_mode, str):
         bounds_mode = BoundsMode(bounds_mode)
-    context = prepare_context(dataset, focal, k, algorithm=f"LP-CTA[{bounds_mode.value}]")
+    context = prepare_context(
+        dataset, focal, k, algorithm=f"LP-CTA[{bounds_mode.value}]", prepared=prepared
+    )
     if context.effective_k < 1:
         return run_progressive(context, bound_evaluator=None, finalize_geometry=finalize_geometry)
     evaluator = TransformedBoundEvaluator(

@@ -22,7 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from ..records import Dataset
-from .base import ORIGINAL_SPACE, prepare_context
+from .base import ORIGINAL_SPACE, PreparedQuery, prepare_context
 from .bounds import OriginalSpaceBoundEvaluator
 from .cta import cta
 from .progressive import run_progressive
@@ -35,9 +35,12 @@ def op_cta(
     dataset: Dataset,
     focal: np.ndarray | Sequence[float],
     k: int,
+    prepared: PreparedQuery | None = None,
 ) -> KSPRResult:
     """P-CTA running directly in the original (non-reduced) preference space."""
-    context = prepare_context(dataset, focal, k, algorithm="OP-CTA", space=ORIGINAL_SPACE)
+    context = prepare_context(
+        dataset, focal, k, algorithm="OP-CTA", space=ORIGINAL_SPACE, prepared=prepared
+    )
     return run_progressive(context, bound_evaluator=None, finalize_geometry=False)
 
 
@@ -45,9 +48,12 @@ def olp_cta(
     dataset: Dataset,
     focal: np.ndarray | Sequence[float],
     k: int,
+    prepared: PreparedQuery | None = None,
 ) -> KSPRResult:
     """LP-CTA running directly in the original (non-reduced) preference space."""
-    context = prepare_context(dataset, focal, k, algorithm="OLP-CTA", space=ORIGINAL_SPACE)
+    context = prepare_context(
+        dataset, focal, k, algorithm="OLP-CTA", space=ORIGINAL_SPACE, prepared=prepared
+    )
     if context.effective_k < 1:
         return run_progressive(context, bound_evaluator=None, finalize_geometry=False)
     evaluator = OriginalSpaceBoundEvaluator(

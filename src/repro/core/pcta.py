@@ -19,7 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..records import Dataset
-from .base import prepare_context
+from .base import PreparedQuery, prepare_context
 from .progressive import run_progressive
 from .result import KSPRResult
 
@@ -31,7 +31,12 @@ def pcta(
     focal: np.ndarray | Sequence[float],
     k: int,
     finalize_geometry: bool = True,
+    prepared: PreparedQuery | None = None,
 ) -> KSPRResult:
-    """Answer a kSPR query with the Progressive Cell Tree Approach."""
-    context = prepare_context(dataset, focal, k, algorithm="P-CTA")
+    """Answer a kSPR query with the Progressive Cell Tree Approach.
+
+    ``prepared`` optionally supplies precomputed partition / index state
+    (see :mod:`repro.engine`).
+    """
+    context = prepare_context(dataset, focal, k, algorithm="P-CTA", prepared=prepared)
     return run_progressive(context, bound_evaluator=None, finalize_geometry=finalize_geometry)

@@ -21,7 +21,13 @@ from .original_space import olp_cta, op_cta
 from .pcta import pcta
 from .result import KSPRResult
 
-__all__ = ["kspr", "available_methods"]
+__all__ = [
+    "kspr",
+    "available_methods",
+    "normalize_method",
+    "resolve_method",
+    "validate_query",
+]
 
 _METHODS: dict[str, Callable[..., KSPRResult]] = {
     "cta": cta,
@@ -37,6 +43,57 @@ _METHODS: dict[str, Callable[..., KSPRResult]] = {
 def available_methods() -> list[str]:
     """Names accepted by the ``method`` argument of :func:`kspr` (aliases included)."""
     return sorted(_METHODS)
+
+
+def normalize_method(method: str) -> str:
+    """Canonical spelling of a method name; raises for unknown methods."""
+    normalized = method.strip().lower().replace("_", "-")
+    if normalized not in _METHODS:
+        raise InvalidQueryError(
+            f"unknown method {method!r}; available: {', '.join(available_methods())}"
+        )
+    return normalized
+
+
+def resolve_method(method: str) -> tuple[str, Callable[..., KSPRResult]]:
+    """Resolve a method name (or alias) to ``(canonical name, callable)``.
+
+    Aliases collapse to one canonical name (``"p-cta"`` and ``"pcta"`` both
+    resolve to ``"pcta"``) so callers such as :class:`repro.engine.Engine`
+    can key caches without alias-induced duplicates.
+    """
+    func = _METHODS[normalize_method(method)]
+    return func.__name__, func
+
+
+def validate_query(dataset: Dataset, focal: np.ndarray, k: int) -> np.ndarray:
+    """Validate a (dataset, focal, k) query triple up front.
+
+    Raises :class:`~repro.exceptions.InvalidQueryError` for a non-integral or
+    out-of-range ``k`` (``k < 1`` or ``k > n``), a focal record of the wrong
+    shape or dimensionality, or non-finite focal values.  Returns the focal
+    record as a float vector.
+    """
+    if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
+        raise InvalidQueryError(f"k must be an integer, got {k!r}")
+    if k < 1:
+        raise InvalidQueryError(f"k must be a positive integer, got {k}")
+    if k > dataset.cardinality:
+        raise InvalidQueryError(
+            f"k={k} exceeds the dataset cardinality n={dataset.cardinality}; "
+            "the focal record would trivially rank in every top-k"
+        )
+    focal_array = np.asarray(focal, dtype=float)
+    if focal_array.ndim != 1:
+        raise InvalidQueryError("the focal record must be a 1-D vector")
+    if focal_array.shape[0] != dataset.dimensionality:
+        raise InvalidQueryError(
+            f"focal record has {focal_array.shape[0]} attributes but the "
+            f"dataset has {dataset.dimensionality}"
+        )
+    if not np.all(np.isfinite(focal_array)):
+        raise InvalidQueryError("focal record values must be finite")
+    return focal_array
 
 
 def kspr(
@@ -82,11 +139,8 @@ def kspr(
     """
     if not isinstance(dataset, Dataset):
         dataset = Dataset(np.asarray(dataset, dtype=float))
-    normalized = method.strip().lower().replace("_", "-")
-    if normalized not in _METHODS:
-        raise InvalidQueryError(
-            f"unknown method {method!r}; available: {', '.join(available_methods())}"
-        )
+    focal = validate_query(dataset, focal, k)
+    normalized = normalize_method(method)
     if normalized == "lpcta" and "bounds_mode" in options and isinstance(options["bounds_mode"], str):
         options["bounds_mode"] = BoundsMode(options["bounds_mode"])
     return _METHODS[normalized](dataset, focal, k, **options)

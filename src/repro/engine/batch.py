@@ -1,0 +1,175 @@
+"""Concurrent batch execution of independent kSPR queries.
+
+:class:`QueryBatch` drives an :class:`~repro.engine.Engine` with a pool of
+worker threads (``concurrent.futures.ThreadPoolExecutor``): independent
+queries share the engine's prepared state and result cache, and the report
+aggregates per-query statistics (timings, processed records, LP calls, cache
+hits) across the whole batch.
+
+The engine's ``query`` method is thread-safe; queries that land on the same
+focal record share one prepared context, and repeated queries are answered
+from the result cache without recomputation.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.result import KSPRResult
+
+__all__ = ["QuerySpec", "QueryOutcome", "BatchReport", "QueryBatch", "run_batch"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One query of a batch: focal record, shortlist size, optional overrides."""
+
+    focal: np.ndarray
+    k: int
+    method: str | None = None
+    options: tuple = ()
+
+    def option_dict(self) -> dict:
+        """The per-query keyword options as a dict."""
+        return dict(self.options)
+
+
+@dataclass
+class QueryOutcome:
+    """Result (or failure) of one batch query, in submission order."""
+
+    index: int
+    spec: QuerySpec
+    result: KSPRResult | None = None
+    error: Exception | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the query completed without raising."""
+        return self.error is None
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of a whole batch."""
+
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+    #: Wall-clock seconds for the entire batch (submission to last completion).
+    wall_seconds: float = 0.0
+    #: Engine cache hits / cold queries attributable to this batch.
+    cache_hits: int = 0
+    cold_queries: int = 0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[QueryOutcome]:
+        return iter(self.outcomes)
+
+    @property
+    def results(self) -> list[KSPRResult]:
+        """Results of the successful queries, in submission order."""
+        return [outcome.result for outcome in self.outcomes if outcome.result is not None]
+
+    @property
+    def errors(self) -> list[QueryOutcome]:
+        """Outcomes that raised."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics across the batch (for logs and benchmarks)."""
+        ok = [outcome for outcome in self.outcomes if outcome.ok]
+        per_query = [outcome.seconds for outcome in ok]
+        results = self.results
+        return {
+            "queries": float(len(self.outcomes)),
+            "failed": float(len(self.errors)),
+            "wall_seconds": self.wall_seconds,
+            "query_seconds_total": float(sum(per_query)),
+            "query_seconds_max": float(max(per_query)) if per_query else 0.0,
+            "query_seconds_mean": float(np.mean(per_query)) if per_query else 0.0,
+            "cache_hits": float(self.cache_hits),
+            "cold_queries": float(self.cold_queries),
+            "regions_total": float(sum(len(result) for result in results)),
+            "processed_records_total": float(
+                sum(result.stats.processed_records for result in results)
+            ),
+            "lp_calls_total": float(sum(result.stats.lp.total_calls for result in results)),
+        }
+
+
+class QueryBatch:
+    """Execute independent queries against one engine, concurrently.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.Engine` to query.
+    max_workers:
+        Thread-pool size; ``None`` uses the executor default.  ``1`` gives
+        deterministic sequential execution (useful for timing comparisons).
+    """
+
+    def __init__(self, engine, max_workers: int | None = None) -> None:
+        self.engine = engine
+        self.max_workers = max_workers
+
+    def run(self, specs: Iterable[QuerySpec | tuple]) -> BatchReport:
+        """Run every query and return a :class:`BatchReport` in submission order.
+
+        Each element may be a :class:`QuerySpec` or a ``(focal, k)`` /
+        ``(focal, k, method)`` tuple.  Failures are captured per-query (the
+        batch always completes).
+        """
+        normalized = [self._coerce(index, spec) for index, spec in enumerate(specs)]
+        hits_before = self.engine.stats.cache_hits
+        cold_before = self.engine.stats.cold_queries
+
+        start = time.perf_counter()
+        if self.max_workers == 1:
+            outcomes = [self._run_one(spec) for spec in normalized]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                outcomes = list(pool.map(self._run_one, normalized))
+        wall = time.perf_counter() - start
+
+        return BatchReport(
+            outcomes=outcomes,
+            wall_seconds=wall,
+            cache_hits=self.engine.stats.cache_hits - hits_before,
+            cold_queries=self.engine.stats.cold_queries - cold_before,
+        )
+
+    @staticmethod
+    def _coerce(index: int, spec: QuerySpec | Sequence) -> QueryOutcome:
+        if isinstance(spec, QuerySpec):
+            return QueryOutcome(index=index, spec=spec)
+        focal, k, *rest = spec
+        method = rest[0] if rest else None
+        return QueryOutcome(
+            index=index,
+            spec=QuerySpec(focal=np.asarray(focal, dtype=float), k=int(k), method=method),
+        )
+
+    def _run_one(self, outcome: QueryOutcome) -> QueryOutcome:
+        spec = outcome.spec
+        start = time.perf_counter()
+        try:
+            outcome.result = self.engine.query(
+                spec.focal, spec.k, method=spec.method, **spec.option_dict()
+            )
+        except Exception as error:  # noqa: BLE001 - reported per query
+            outcome.error = error
+        outcome.seconds = time.perf_counter() - start
+        return outcome
+
+
+def run_batch(engine, specs: Iterable[QuerySpec | tuple], max_workers: int | None = None) -> BatchReport:
+    """Convenience wrapper: ``QueryBatch(engine, max_workers).run(specs)``."""
+    return QueryBatch(engine, max_workers=max_workers).run(specs)

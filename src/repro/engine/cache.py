@@ -1,0 +1,157 @@
+"""LRU result cache for the multi-query serving engine.
+
+Entries are keyed on ``(dataset fingerprint, focal, k, method, options)`` so a
+cached answer can only ever be served for the *exact* query it was computed
+for, against the *exact* dataset state it was computed on.  On a dataset
+update the engine decides, per entry, whether the inserted / deleted record
+could influence that entry's answer (see
+:meth:`repro.engine.Engine.insert`); unaffected entries are *re-keyed* to the
+new dataset fingerprint and keep serving, affected ones are dropped.  That is
+what makes invalidation precise instead of a blanket flush.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.result import KSPRResult
+
+__all__ = ["CacheEntry", "ResultCache", "options_key"]
+
+
+def options_key(options: dict) -> tuple:
+    """Canonical, hashable form of a keyword-options dict."""
+    return tuple(sorted((name, repr(value)) for name, value in options.items()))
+
+
+@dataclass
+class CacheEntry:
+    """One cached query answer plus the metadata needed for precise invalidation."""
+
+    fingerprint: str
+    focal: np.ndarray
+    k: int
+    method: str
+    opts: tuple
+    result: KSPRResult
+    #: Whether the cold run used k-skyband pruning (affects which dataset
+    #: updates can change the answer).
+    pruned: bool = False
+
+    @property
+    def key(self) -> tuple:
+        """The lookup key this entry is stored under."""
+        return (self.fingerprint, self.focal.tobytes(), self.k, self.method, self.opts)
+
+
+class ResultCache:
+    """A bounded LRU cache of :class:`~repro.core.result.KSPRResult` objects.
+
+    Not thread-safe by itself; :class:`repro.engine.Engine` serialises access
+    through its own lock.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.invalidated = 0
+        self.rekeyed = 0
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def entries(self) -> list[CacheEntry]:
+        """Current entries, least recently used first."""
+        return list(self._entries.values())
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # lookup / insertion
+    # ------------------------------------------------------------------ #
+    def get(self, key: tuple) -> KSPRResult | None:
+        """The cached result for ``key``, or None; refreshes LRU order on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.result
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert an entry, evicting the least recently used one when full."""
+        key = entry.key
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = entry
+            return
+        self._entries[key] = entry
+        self.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # update-driven invalidation
+    # ------------------------------------------------------------------ #
+    def apply_update(
+        self,
+        new_fingerprint: str,
+        is_affected: Callable[[CacheEntry], bool],
+    ) -> tuple[int, int]:
+        """Reconcile the cache with a dataset update.
+
+        Entries for which ``is_affected`` returns True are dropped; the rest
+        are re-keyed under ``new_fingerprint`` (their answers are provably
+        unchanged by the update) with LRU order preserved.  Returns
+        ``(retained, dropped)`` counts.
+        """
+        retained: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        dropped = 0
+        for entry in self._entries.values():
+            if is_affected(entry):
+                dropped += 1
+                continue
+            entry.fingerprint = new_fingerprint
+            retained[entry.key] = entry
+        self._entries = retained
+        self.invalidated += dropped
+        self.rekeyed += len(retained)
+        return len(retained), dropped
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def info(self) -> dict[str, int | float]:
+        """Counters in a plain dict (for logs, benchmarks and tests)."""
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "rekeyed": self.rekeyed,
+        }

@@ -1,0 +1,520 @@
+"""The amortized multi-query kSPR serving engine.
+
+:class:`Engine` prepares a dataset once and serves many queries against the
+prepared state, amortising work that :func:`repro.kspr` redoes from scratch
+on every call:
+
+* **k-skyband pruning** — an incrementally-maintained
+  :class:`~repro.index.skyline.SkybandIndex` stores the exact dominator count
+  of every record.  For a query with ``k <= k_max``, competitors dominated by
+  ``k`` or more records are excluded before any index is built: by Lemma 6 of
+  the paper they can never out-score the focal record inside an answer
+  region, so the answer is unchanged while the per-query input shrinks from
+  ``n`` towards the k-skyband.
+* **prepared per-focal state** — the focal partition, the competitor R-tree
+  and the record→hyperplane map are computed once per ``(focal, k)`` and
+  reused by later queries (:class:`~repro.core.base.PreparedQuery`).
+* **result caching** — an LRU :class:`~repro.engine.cache.ResultCache` keyed
+  on ``(dataset fingerprint, focal, k, method, options)`` returns previously
+  computed answers outright.
+* **incremental updates** — :meth:`Engine.insert` / :meth:`Engine.delete`
+  patch the dominator counts, the shared aggregate R-tree and the caches in
+  place.  Cache entries are invalidated *only* when the updated record can
+  actually influence their answer; unaffected entries keep serving.
+
+The per-entry invalidation rule, for an entry answering ``(focal, k)`` and an
+updated record ``r``:
+
+1. ``r`` dominated by (or equal to) the focal record — the partitioning step
+   discards ``r`` for every weight vector, the entry is untouched;
+2. ``r`` dominates the focal record — the dominator count ``D`` (and hence
+   every reported rank, and possibly emptiness) changes: drop the entry;
+3. ``r`` is a competitor with fewer than ``k`` dominators — it belongs to the
+   entry's (pruned) competitor set: drop the entry;
+4. ``r`` is a competitor with ``>= k`` dominators — it was pruned anyway; the
+   entry is dropped only if the update moved some *other* competitor across
+   the k-skyband boundary (its dominator count crossed ``k``), which would
+   change the pruned input of a cold re-run.  (By transitivity of dominance,
+   every dominator of ``r`` also dominates whatever ``r`` dominates, so such
+   a crossing provably cannot happen — the check is kept as a cheap safety
+   net rather than a live code path.)
+
+Rules 1–4 keep cached results byte-identical to what a cold re-run against
+the current dataset would produce.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.base import PreparedQuery
+from ..core.bounds import BoundsMode
+from ..core.query import resolve_method, validate_query
+from ..core.result import KSPRResult
+from ..exceptions import InvalidDatasetError, InvalidQueryError
+from ..geometry.halfspace import Hyperplane
+from ..index.rtree import AggregateRTree
+from ..index.skyline import SkybandDelta, SkybandIndex
+from ..index.skyline import skyline as bbs_skyline
+from ..records import Dataset, FocalPartition, dominates
+from .cache import CacheEntry, ResultCache, options_key
+
+__all__ = ["Engine", "EngineStats"]
+
+#: Preference-space tag used to segregate hyperplane caches (a transformed-
+#: space hyperplane and an original-space one differ for the same record).
+_TRANSFORMED = "transformed"
+_ORIGINAL = "original"
+
+
+@dataclass
+class EngineStats:
+    """Serving-side counters (the per-query :class:`QueryStats` still travel
+    with each result)."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cold_queries: int = 0
+    prepared_builds: int = 0
+    prepared_reuses: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    entries_invalidated: int = 0
+    entries_retained: int = 0
+    cold_seconds: float = 0.0
+    prepare_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for logs and benchmark JSON."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cold_queries": self.cold_queries,
+            "prepared_builds": self.prepared_builds,
+            "prepared_reuses": self.prepared_reuses,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "entries_invalidated": self.entries_invalidated,
+            "entries_retained": self.entries_retained,
+            "cold_seconds": self.cold_seconds,
+            "prepare_seconds": self.prepare_seconds,
+        }
+
+
+@dataclass
+class _PreparedEntry:
+    """A cached :class:`PreparedQuery` plus the metadata to invalidate it."""
+
+    prepared: PreparedQuery
+    focal: np.ndarray
+    k: int
+    space: str
+    pruned: bool
+
+
+class _BackingView:
+    """Zero-copy, Dataset-shaped view over the engine's row store.
+
+    The shared R-tree indexes row-store *positions*, so it only needs
+    ``values`` / ``ids`` lookups with stable positions — not the full
+    :class:`~repro.records.Dataset` contract.  Using a view avoids copying
+    the whole store on every single-record insert.
+    """
+
+    def __init__(self, values: np.ndarray, ids: np.ndarray) -> None:
+        self.values = values
+        self.ids = ids
+
+    @property
+    def cardinality(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def dimensionality(self) -> int:
+        return int(self.values.shape[1])
+
+
+class Engine:
+    """Amortized serving of many kSPR queries over one (evolving) dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Initial records, as a :class:`~repro.records.Dataset` or raw array.
+    method:
+        Default algorithm for :meth:`query` (any :func:`repro.kspr` method
+        name; per-query override supported).
+    k_max:
+        Largest ``k`` for which the k-skyband fast path applies.  Queries
+        with larger ``k`` are still answered (and cached) but run against the
+        full competitor set.
+    fanout:
+        Fanout of every aggregate R-tree the engine builds.
+    result_cache_size / prepared_cache_size:
+        Capacities of the result LRU and the prepared-state LRU.
+    prune_skyband:
+        Disable to make cold queries byte-identical to plain ``kspr()`` calls
+        (useful for differential testing); pruning never changes the answer,
+        only the per-query work.
+
+    Notes
+    -----
+    ``query`` is thread-safe and is what :class:`repro.engine.QueryBatch`
+    drives concurrently.  Cached results are returned as-is (not copied):
+    treat them as immutable, and note that ``result.stats`` always describes
+    the cold run that produced the entry.  Per-query simulated I/O counts are
+    reported as deltas on a counter shared per prepared focal, so two cache
+    misses racing on the *same* ``(focal, k)`` may attribute node accesses to
+    each other — answers are unaffected, only that statistic blurs.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset | np.ndarray | Sequence[Sequence[float]],
+        *,
+        method: str = "lpcta",
+        k_max: int = 16,
+        fanout: int = 32,
+        result_cache_size: int = 512,
+        prepared_cache_size: int = 64,
+        prune_skyband: bool = True,
+    ) -> None:
+        if not isinstance(dataset, Dataset):
+            dataset = Dataset(np.asarray(dataset, dtype=float))
+        if dataset.cardinality == 0:
+            raise InvalidDatasetError("the engine needs at least one initial record")
+        if k_max < 1:
+            raise InvalidQueryError("k_max must be a positive integer")
+        self._default_method = resolve_method(method)[0]
+        self.k_max = int(k_max)
+        self._fanout = int(fanout)
+        self._prune = bool(prune_skyband)
+        self._name = dataset.name
+
+        prepare_start = time.perf_counter()
+        self._skyband = SkybandIndex(dataset)
+        self._snapshot = dataset
+        self._shared_tree = AggregateRTree(dataset, fanout=self._fanout)
+        self._result_cache = ResultCache(result_cache_size)
+        self._prepared_capacity = int(prepared_cache_size)
+        self._prepared: OrderedDict[tuple, _PreparedEntry] = OrderedDict()
+        self._hyperplanes: dict[tuple, dict[int, Hyperplane]] = {}
+        self._used_ids = {int(record_id) for record_id in dataset.ids}
+        self._next_id = dataset.next_record_id()
+        self._lock = threading.RLock()
+        self.stats = EngineStats()
+        self.stats.prepare_seconds += time.perf_counter() - prepare_start
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def dataset(self) -> Dataset:
+        """Snapshot of the live records (immutable; replaced on updates)."""
+        return self._snapshot
+
+    @property
+    def fingerprint(self) -> str:
+        """Fingerprint of the current dataset state (the cache-key component)."""
+        return self._snapshot.fingerprint()
+
+    @property
+    def cardinality(self) -> int:
+        """Number of live records."""
+        return self._snapshot.cardinality
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes per record."""
+        return self._snapshot.dimensionality
+
+    def skyband_ids(self, k: int) -> set[int]:
+        """Identifiers of the current k-skyband, from the maintained counts."""
+        with self._lock:
+            return self._skyband.skyband_ids(k)
+
+    def skyline(self) -> list[int]:
+        """Identifiers of the current skyline (Pareto-optimal records).
+
+        Served by a BBS traversal of the incrementally-maintained shared
+        aggregate R-tree — the "what are the undominated options right now?"
+        companion query a serving deployment runs alongside kSPR.
+        """
+        with self._lock:
+            return bbs_skyline(self._shared_tree)
+
+    def cache_info(self) -> dict[str, int | float]:
+        """Result-cache counters (size, hits, misses, invalidations, ...)."""
+        with self._lock:
+            return self._result_cache.info()
+
+    def prepared_info(self) -> dict[str, int]:
+        """Prepared-state counters."""
+        with self._lock:
+            return {
+                "size": len(self._prepared),
+                "capacity": self._prepared_capacity,
+                "builds": self.stats.prepared_builds,
+                "reuses": self.stats.prepared_reuses,
+            }
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        focal: np.ndarray | Sequence[float],
+        k: int,
+        method: str | None = None,
+        **options,
+    ) -> KSPRResult:
+        """Answer one kSPR query, reusing every piece of prepared state it can.
+
+        Accepts the same arguments as :func:`repro.kspr`; results are
+        identical to a fresh ``kspr()`` call on the current dataset (with
+        pruning enabled, identical up to the decomposition of the answer into
+        cells — the covered region and the ranks are always the same).
+        """
+        method_name, method_func = resolve_method(method or self._default_method)
+        with self._lock:
+            snapshot = self._snapshot
+        focal_array = validate_query(snapshot, focal, k)
+        if method_name == "lpcta" and isinstance(options.get("bounds_mode"), str):
+            options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+        opts = options_key(options)
+        key = (snapshot.fingerprint(), focal_array.tobytes(), int(k), method_name, opts)
+
+        with self._lock:
+            self.stats.queries += 1
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+
+        space = _ORIGINAL if method_name in ("op_cta", "olp_cta") else options.get(
+            "space", _TRANSFORMED
+        )
+        entry, snapshot = self._prepared_for(focal_array, int(k), space)
+
+        cold_start = time.perf_counter()
+        result = method_func(snapshot, focal_array, int(k), prepared=entry.prepared, **options)
+        cold_seconds = time.perf_counter() - cold_start
+
+        with self._lock:
+            self.stats.cold_queries += 1
+            self.stats.cold_seconds += cold_seconds
+            # Guard against a concurrent update: never cache a result computed
+            # against a superseded dataset state.
+            if snapshot is self._snapshot:
+                self._result_cache.put(
+                    CacheEntry(
+                        fingerprint=snapshot.fingerprint(),
+                        focal=focal_array,
+                        k=int(k),
+                        method=method_name,
+                        opts=opts,
+                        result=result,
+                        pruned=entry.pruned,
+                    )
+                )
+        return result
+
+    def _prepared_for(
+        self, focal: np.ndarray, k: int, space: str
+    ) -> tuple[_PreparedEntry, Dataset]:
+        """Fetch or build the prepared state for one ``(focal, k, space)``.
+
+        Returns the entry together with the dataset snapshot it is consistent
+        with — the caller must run the query against exactly that snapshot.
+        The focal partition and the k-skyband slice are computed *under the
+        engine lock* so they always describe one dataset state; only the
+        expensive R-tree build runs unlocked.
+
+        Entries are keyed on the *band* rather than ``k`` directly: pruned
+        entries depend on ``k`` (the competitor set is the k-skyband slice),
+        but unpruned ones (``k > k_max`` or pruning disabled) share a single
+        competitor tree across every ``k``.
+        """
+        pruned = self._prune and k <= self.k_max
+        band = k if pruned else 0
+        pkey = (focal.tobytes(), band, space)
+        prepare_start = time.perf_counter()
+        with self._lock:
+            snapshot = self._snapshot
+            entry = self._prepared.get(pkey)
+            if entry is not None:
+                self._prepared.move_to_end(pkey)
+                self.stats.prepared_reuses += 1
+                return entry, snapshot
+            partition = snapshot.partition_by_focal(focal)
+            if pruned:
+                band_ids = self._skyband.skyband_ids(k)
+                competitors = partition.competitors
+                keep = [
+                    i
+                    for i, record_id in enumerate(competitors.ids)
+                    if int(record_id) in band_ids
+                ]
+                if len(keep) < competitors.cardinality:
+                    partition = FocalPartition(
+                        competitors=competitors.subset(keep),
+                        dominators=partition.dominators,
+                        dominated=partition.dominated,
+                    )
+        # The heavy part runs outside the lock so updates and other queries
+        # are not serialised behind the STR bulk load.
+        tree = AggregateRTree(partition.competitors, fanout=self._fanout)
+        prepare_seconds = time.perf_counter() - prepare_start
+
+        with self._lock:
+            if snapshot is not self._snapshot:
+                # An insert/delete raced this build: the entry is consistent
+                # with the snapshot captured above, so hand it to the caller
+                # (which runs against that snapshot), but never register it —
+                # a later query would otherwise mix it with the *new* dataset
+                # state.
+                return (
+                    _PreparedEntry(
+                        prepared=PreparedQuery(partition, tree, None),
+                        focal=focal.copy(),
+                        k=band,
+                        space=space,
+                        pruned=pruned,
+                    ),
+                    snapshot,
+                )
+            raced = self._prepared.get(pkey)
+            if raced is not None:
+                self._prepared.move_to_end(pkey)
+                self.stats.prepared_reuses += 1
+                return raced, snapshot
+            hkey = (focal.tobytes(), space)
+            hyperplanes = self._hyperplanes.setdefault(hkey, {})
+            entry = _PreparedEntry(
+                prepared=PreparedQuery(partition, tree, hyperplanes),
+                focal=focal.copy(),
+                k=band,
+                space=space,
+                pruned=pruned,
+            )
+            self._prepared[pkey] = entry
+            self.stats.prepared_builds += 1
+            self.stats.prepare_seconds += prepare_seconds
+            while len(self._prepared) > self._prepared_capacity:
+                _, evicted = self._prepared.popitem(last=False)
+                self._drop_hyperplanes_if_unused(evicted)
+            return entry, snapshot
+
+    def _drop_hyperplanes_if_unused(self, evicted: _PreparedEntry) -> None:
+        """Release a focal's hyperplane cache once nothing references it."""
+        hkey = (evicted.focal.tobytes(), evicted.space)
+        for entry in self._prepared.values():
+            if (entry.focal.tobytes(), entry.space) == hkey:
+                return
+        self._hyperplanes.pop(hkey, None)
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+    def insert(
+        self, values: np.ndarray | Sequence[float], record_id: int | None = None
+    ) -> int:
+        """Add one record, patching indexes and invalidating affected caches.
+
+        Returns the record's stable identifier.  Identifiers are never
+        reused, so an explicit ``record_id`` that was ever live (even if
+        since deleted) is rejected.
+        """
+        row = np.asarray(values, dtype=float)
+        with self._lock:
+            if record_id is None:
+                record_id = self._next_id
+            record_id = int(record_id)
+            if record_id in self._used_ids:
+                raise InvalidDatasetError(
+                    f"record id {record_id} was already used; ids are never recycled"
+                )
+            delta = self._skyband.insert(row, record_id)
+            self._used_ids.add(record_id)
+            self._next_id = max(self._next_id, record_id + 1)
+            self._shared_tree.rebind_dataset(self._backing_view())
+            self._shared_tree.insert_position(delta.position)
+            self._finish_update(delta, inserted=True)
+            self.stats.inserts += 1
+            return record_id
+
+    def delete(self, record_id: int) -> None:
+        """Remove one record, patching indexes and invalidating affected caches."""
+        with self._lock:
+            if self._skyband.active_count <= 1:
+                raise InvalidDatasetError("cannot delete the last remaining record")
+            delta = self._skyband.delete(record_id)
+            self._shared_tree.delete_position(delta.position)
+            self._finish_update(delta, inserted=False)
+            self.stats.deletes += 1
+
+    def _backing_view(self) -> _BackingView:
+        """Row-store view (tombstones included) backing the shared R-tree."""
+        values, ids = self._skyband.backing_arrays()
+        return _BackingView(values, ids)
+
+    def _finish_update(self, delta: SkybandDelta, inserted: bool) -> None:
+        """Refresh the snapshot and reconcile both caches after an update."""
+        self._snapshot = self._skyband.snapshot(self._name)
+        new_fingerprint = self._snapshot.fingerprint()
+
+        retained, dropped = self._result_cache.apply_update(
+            new_fingerprint,
+            lambda entry: self._is_affected(
+                entry.focal, entry.k, entry.pruned, delta, inserted
+            ),
+        )
+        self.stats.entries_invalidated += dropped
+        self.stats.entries_retained += retained
+
+        stale = [
+            pkey
+            for pkey, entry in self._prepared.items()
+            if self._is_affected(entry.focal, entry.k, entry.pruned, delta, inserted)
+        ]
+        for pkey in stale:
+            evicted = self._prepared.pop(pkey)
+            self._drop_hyperplanes_if_unused(evicted)
+
+    def _is_affected(
+        self,
+        focal: np.ndarray,
+        k: int,
+        pruned: bool,
+        delta: SkybandDelta,
+        inserted: bool,
+    ) -> bool:
+        """Could the updated record change the answer for ``(focal, k)``?
+
+        Implements rules 1–4 from the module docstring.
+        """
+        record = delta.values
+        if np.all(record <= focal):
+            return False  # dominated by (or equal to) the focal record
+        if dominates(record, focal):
+            return True  # shifts the dominator count D
+        if not pruned or delta.count < k:
+            return True  # part of the entry's competitor input
+        # Out-of-band competitor: check for k-skyband boundary crossers among
+        # the records it dominates.  ``changed_counts`` are post-update, so a
+        # crosser sits exactly at k (insert) or k - 1 (delete).
+        threshold = k if inserted else k - 1
+        crossing = delta.changed_counts == threshold
+        if not np.any(crossing):
+            return False
+        crossing_ids = delta.changed_ids[crossing]
+        positions = [self._skyband.position_of(int(rid)) for rid in crossing_ids]
+        rows = self._skyband.values_at(np.asarray(positions, dtype=int))
+        # A crosser matters only if it is itself a competitor of this focal.
+        return bool(np.any(~np.all(rows <= focal[None, :], axis=1)))

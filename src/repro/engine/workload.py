@@ -1,0 +1,211 @@
+"""Workload generation and replay for load-testing the serving engine.
+
+Real multi-query traffic is skewed: a few "hot" options are queried far more
+often than the long tail, and different users ask for different shortlist
+sizes.  :func:`generate_workload` models this with
+
+* **Zipf-skewed focal selection** — candidate focal records are ranked (by
+  attribute sum, a proxy for popularity) and drawn with probability
+  proportional to ``1 / rank^s``;
+* **mixed-k traces** — each query draws its ``k`` independently from a
+  configurable range or choice set;
+* optional multiplicative **perturbation**, so focals are near-records rather
+  than exact dataset members (exercising the cold path more).
+
+Workloads are deterministic given a seed, serialise to JSON for replay across
+processes, and :func:`replay` runs one against an engine (sequentially or
+through a concurrent :class:`~repro.engine.QueryBatch`), returning the
+aggregated :class:`~repro.engine.batch.BatchReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidQueryError
+from ..records import Dataset
+from .batch import BatchReport, QueryBatch, QuerySpec
+
+__all__ = ["WorkloadQuery", "Workload", "zipf_weights", "generate_workload", "replay"]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One trace entry: a focal record, a shortlist size, an optional method."""
+
+    focal: tuple[float, ...]
+    k: int
+    method: str | None = None
+
+    def spec(self) -> QuerySpec:
+        """The equivalent :class:`~repro.engine.batch.QuerySpec`."""
+        return QuerySpec(focal=np.asarray(self.focal, dtype=float), k=self.k, method=self.method)
+
+
+@dataclass
+class Workload:
+    """An ordered trace of queries plus the parameters that generated it."""
+
+    queries: list[WorkloadQuery] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[WorkloadQuery]:
+        return iter(self.queries)
+
+    @property
+    def unique_focals(self) -> int:
+        """Number of distinct focal records in the trace."""
+        return len({query.focal for query in self.queries})
+
+    @property
+    def unique_queries(self) -> int:
+        """Number of distinct (focal, k, method) triples in the trace."""
+        return len({(query.focal, query.k, query.method) for query in self.queries})
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Serialise the workload (queries + metadata) to a JSON string."""
+        return json.dumps(
+            {
+                "metadata": self.metadata,
+                "queries": [
+                    {"focal": list(query.focal), "k": query.k, "method": query.method}
+                    for query in self.queries
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Workload":
+        """Rebuild a workload from :meth:`to_json` output."""
+        decoded = json.loads(payload)
+        return cls(
+            queries=[
+                WorkloadQuery(
+                    focal=tuple(float(value) for value in query["focal"]),
+                    k=int(query["k"]),
+                    method=query.get("method"),
+                )
+                for query in decoded["queries"]
+            ],
+            metadata=decoded.get("metadata", {}),
+        )
+
+
+def zipf_weights(count: int, s: float = 1.1) -> np.ndarray:
+    """Probabilities of a (finite) Zipf law: ``p(rank) ∝ 1 / rank^s``."""
+    if count < 1:
+        raise InvalidQueryError("a Zipf distribution needs at least one outcome")
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-float(s))
+    return weights / weights.sum()
+
+
+def generate_workload(
+    dataset: Dataset,
+    size: int,
+    *,
+    zipf_s: float = 1.1,
+    focal_pool: int | None = None,
+    k_range: tuple[int, int] = (1, 10),
+    k_choices: Sequence[int] | None = None,
+    perturb: float = 0.0,
+    method: str | None = None,
+    seed: int | None = None,
+) -> Workload:
+    """Generate a Zipf-skewed, mixed-``k`` query trace over ``dataset``.
+
+    Parameters
+    ----------
+    size:
+        Number of queries in the trace.
+    zipf_s:
+        Skew exponent; larger values concentrate traffic on fewer focals.
+    focal_pool:
+        How many candidate focal records to draw from (default: all records).
+        Candidates are ranked by attribute sum, so the hottest focals are the
+        generally-strong options — the records a service would actually be
+        asked about.
+    k_range / k_choices:
+        Each query's ``k`` is drawn uniformly from ``k_choices`` when given,
+        otherwise from the inclusive ``k_range``; values are clamped to the
+        dataset cardinality.
+    perturb:
+        Relative magnitude of multiplicative noise applied to each candidate
+        focal once (0 keeps exact record values).
+    method:
+        Optional per-query method override recorded in the trace.
+    seed:
+        Seed for reproducible traces.
+    """
+    if size < 1:
+        raise InvalidQueryError("workload size must be at least 1")
+    if dataset.cardinality == 0:
+        raise InvalidQueryError("cannot generate a workload over an empty dataset")
+    rng = np.random.default_rng(seed)
+
+    pool = dataset.cardinality if focal_pool is None else min(focal_pool, dataset.cardinality)
+    popularity = np.argsort(-dataset.values.sum(axis=1), kind="stable")[:pool]
+    candidates = dataset.values[popularity].astype(float)
+    if perturb > 0.0:
+        noise = 1.0 + perturb * (rng.random(candidates.shape) - 0.5)
+        candidates = candidates * noise
+
+    probabilities = zipf_weights(pool, zipf_s)
+    focal_indices = rng.choice(pool, size=size, p=probabilities)
+
+    if k_choices is not None:
+        choices = np.asarray(list(k_choices), dtype=int)
+        if choices.size == 0 or int(choices.min()) < 1:
+            raise InvalidQueryError(f"invalid k_choices {tuple(k_choices)!r}: every k must be >= 1")
+        ks = rng.choice(choices, size=size)
+    else:
+        low, high = int(k_range[0]), int(k_range[1])
+        if low < 1 or high < low:
+            raise InvalidQueryError(f"invalid k_range {k_range!r}")
+        ks = rng.integers(low, high + 1, size=size)
+    ks = np.minimum(ks, dataset.cardinality)
+
+    queries = [
+        WorkloadQuery(
+            focal=tuple(float(value) for value in candidates[int(index)]),
+            k=int(k),
+            method=method,
+        )
+        for index, k in zip(focal_indices, ks)
+    ]
+    return Workload(
+        queries=queries,
+        metadata={
+            "size": size,
+            "zipf_s": zipf_s,
+            "focal_pool": pool,
+            "k_range": list(k_range) if k_choices is None else None,
+            "k_choices": list(k_choices) if k_choices is not None else None,
+            "perturb": perturb,
+            "seed": seed,
+            "dataset": dataset.name,
+            "cardinality": dataset.cardinality,
+            "dimensionality": dataset.dimensionality,
+        },
+    )
+
+
+def replay(engine, workload: Workload, max_workers: int | None = 1) -> BatchReport:
+    """Run a workload against an engine and return the aggregated report.
+
+    ``max_workers=1`` (default) replays sequentially — the right mode for
+    timing comparisons; larger values use a concurrent
+    :class:`~repro.engine.QueryBatch`.
+    """
+    batch = QueryBatch(engine, max_workers=max_workers)
+    return batch.run(query.spec() for query in workload)

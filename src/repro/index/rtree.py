@@ -12,6 +12,14 @@ algorithm, which produces well-clustered nodes in one pass and is the standard
 choice when the data is known up front.  Node accesses are tracked by an
 :class:`IOCounter` so experiments can report simulated I/O cost without a real
 buffer pool.
+
+For serving scenarios where the dataset changes over time (see
+:mod:`repro.engine`), the tree also supports *incremental maintenance*:
+:meth:`AggregateRTree.insert_position` adds one record with the classic
+least-enlargement descent (splitting overflowing nodes along their longest
+MBR axis), and :meth:`AggregateRTree.delete_position` removes one, condensing
+empty nodes and shrinking MBRs / aggregate counts on the way back up.  Both
+run in O(height · fanout) instead of the O(n log n) full rebuild.
 """
 
 from __future__ import annotations
@@ -153,6 +161,181 @@ class AggregateRTree:
                 )
             nodes = parents
         return nodes[0]
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def rebind_dataset(self, dataset) -> None:
+        """Swap the backing dataset (or dataset-shaped row-store view) of the tree.
+
+        Any object exposing ``values``, ``ids``, ``cardinality`` and
+        ``dimensionality`` works.  Every record position currently stored in
+        a leaf must refer to the same attribute values in the new backing —
+        i.e. it may only *append* rows relative to the old one (an
+        append-only row store with stable positions, as maintained by
+        :class:`repro.engine.Engine`).
+        """
+        if dataset.dimensionality != self.dataset.dimensionality:
+            raise InvalidDatasetError("rebound dataset must keep the same dimensionality")
+        if dataset.cardinality < self.dataset.cardinality:
+            raise InvalidDatasetError("rebound dataset must not drop existing rows")
+        self.dataset = dataset
+
+    def insert_position(self, position: int) -> None:
+        """Insert the record stored at ``position`` of the backing dataset.
+
+        Classic R-tree insertion: descend along the child needing the least
+        MBR enlargement, append to the reached leaf, split overflowing nodes
+        along the longest axis of their MBR and propagate splits upward
+        (growing the tree by one level when the root itself splits).
+        """
+        position = int(position)
+        values = self.dataset.values[position]
+        point = MBR(values.copy(), values.copy())
+        if self.root.count == 0:
+            self.root = RTreeNode(
+                mbr=point,
+                count=1,
+                level=0,
+                record_positions=np.array([position], dtype=int),
+            )
+            return
+        sibling = self._insert_into(self.root, position, point)
+        if sibling is not None:
+            old_root = self.root
+            self.root = RTreeNode(
+                mbr=old_root.mbr.union(sibling.mbr),
+                count=old_root.count + sibling.count,
+                level=old_root.level + 1,
+                children=[old_root, sibling],
+            )
+
+    def delete_position(self, position: int) -> None:
+        """Remove the record stored at ``position`` from the tree.
+
+        The leaf holding the record is located through MBR containment, the
+        entry is removed, and MBRs / aggregate counts are tightened on the way
+        back to the root.  Nodes left empty are discarded and a root with a
+        single child is collapsed, so the tree never accumulates dead weight.
+        Raises :class:`KeyError` if the position is not in the tree.
+        """
+        position = int(position)
+        values = self.dataset.values[position]
+        if not self._delete_from(self.root, position, values):
+            raise KeyError(f"record position {position} is not in the R-tree")
+        while not self.root.is_leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+        if self.root.count == 0:
+            zero = np.zeros(self.dataset.dimensionality)
+            self.root = RTreeNode(
+                mbr=MBR(zero, zero.copy()),
+                count=0,
+                level=0,
+                record_positions=np.array([], dtype=int),
+            )
+
+    def _insert_into(self, node: RTreeNode, position: int, point: MBR) -> RTreeNode | None:
+        """Recursive insert; returns a freshly-split sibling of ``node`` or None."""
+        node.mbr = node.mbr.union(point)
+        node.count += 1
+        if node.is_leaf:
+            node.record_positions = np.append(node.record_positions, position)
+            if node.record_positions.shape[0] > self.fanout:
+                return self._split_leaf(node)
+            return None
+        child = self._choose_child(node, point)
+        sibling = self._insert_into(child, position, point)
+        if sibling is not None:
+            node.children.append(sibling)
+            if len(node.children) > self.fanout:
+                return self._split_internal(node)
+        return None
+
+    @staticmethod
+    def _volume(mbr: MBR) -> float:
+        return float(np.prod(mbr.high - mbr.low))
+
+    def _choose_child(self, node: RTreeNode, point: MBR) -> RTreeNode:
+        """Child whose MBR needs the least volume enlargement (ties: smaller volume)."""
+        best: RTreeNode | None = None
+        best_key: tuple[float, float] | None = None
+        for child in node.children:
+            volume = self._volume(child.mbr)
+            enlargement = self._volume(child.mbr.union(point)) - volume
+            key = (enlargement, volume)
+            if best_key is None or key < best_key:
+                best, best_key = child, key
+        assert best is not None
+        return best
+
+    def _split_leaf(self, node: RTreeNode) -> RTreeNode:
+        """Split an overflowing leaf along the longest axis; mutates ``node`` in place."""
+        positions = node.record_positions
+        values = self.dataset.values[positions]
+        axis = int(np.argmax(node.mbr.high - node.mbr.low))
+        order = np.argsort(values[:, axis], kind="stable")
+        half = positions.shape[0] // 2
+        keep, move = positions[order[:half]], positions[order[half:]]
+        node.record_positions = keep
+        node.count = int(keep.shape[0])
+        node.mbr = MBR.of(self.dataset.values[keep])
+        return RTreeNode(
+            mbr=MBR.of(self.dataset.values[move]),
+            count=int(move.shape[0]),
+            level=node.level,
+            record_positions=move,
+        )
+
+    def _split_internal(self, node: RTreeNode) -> RTreeNode:
+        """Split an overflowing internal node along the longest axis of its MBR."""
+        axis = int(np.argmax(node.mbr.high - node.mbr.low))
+        children = sorted(
+            node.children, key=lambda child: float(child.mbr.low[axis] + child.mbr.high[axis])
+        )
+        half = len(children) // 2
+        keep, move = children[:half], children[half:]
+
+        def union_of(group: list[RTreeNode]) -> MBR:
+            mbr = group[0].mbr
+            for member in group[1:]:
+                mbr = mbr.union(member.mbr)
+            return mbr
+
+        node.children = keep
+        node.count = sum(child.count for child in keep)
+        node.mbr = union_of(keep)
+        return RTreeNode(
+            mbr=union_of(move),
+            count=sum(child.count for child in move),
+            level=node.level,
+            children=move,
+        )
+
+    def _delete_from(self, node: RTreeNode, position: int, values: np.ndarray) -> bool:
+        """Recursive delete; returns True if the position was found and removed."""
+        if not node.mbr.contains_point(values):
+            return False
+        if node.is_leaf:
+            mask = node.record_positions != position
+            if bool(np.all(mask)):
+                return False
+            node.record_positions = node.record_positions[mask]
+            node.count = int(node.record_positions.shape[0])
+            if node.count:
+                node.mbr = MBR.of(self.dataset.values[node.record_positions])
+            return True
+        for child_index, child in enumerate(node.children):
+            if self._delete_from(child, position, values):
+                node.count -= 1
+                if child.count == 0:
+                    del node.children[child_index]
+                if node.children:
+                    mbr = node.children[0].mbr
+                    for member in node.children[1:]:
+                        mbr = mbr.union(member.mbr)
+                    node.mbr = mbr
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # inspection

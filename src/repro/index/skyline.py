@@ -10,21 +10,30 @@ the aggregate R-tree under the larger-is-better convention, with support for
 * an *exclusion* set of record ids to ignore (used for skyline recomputation),
 * the k-skyband (records dominated by fewer than ``k`` others), needed by the
   Appendix B competitor.
+
+For multi-query serving (:mod:`repro.engine`) the module additionally provides
+:class:`SkybandIndex`, an *incrementally maintained* dominator-count structure:
+it stores, for every live record, the exact number of records dominating it,
+and patches those counts in O(n·d) vectorised work per insertion or deletion
+instead of recomputing the O(n²) counts from scratch.  ``skyband_ids(k)``
+then answers "which records are in the k-skyband?" for any ``k`` in O(n).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
+from ..exceptions import InvalidDatasetError
 from ..records import Dataset
 from .dominance import dominated_counts
 from .rtree import AggregateRTree, RTreeNode
 
-__all__ = ["skyline", "k_skyband", "skyband_counts"]
+__all__ = ["skyline", "k_skyband", "skyband_counts", "SkybandIndex", "SkybandDelta"]
 
 
 def _dominated_by_set(point: np.ndarray, frontier: list[np.ndarray], threshold: int = 1) -> bool:
@@ -149,6 +158,206 @@ def skyband_counts(tree: AggregateRTree, k: int) -> dict[int, int]:
 def k_skyband(tree: AggregateRTree, k: int) -> list[int]:
     """Record ids of the k-skyband (dominated by fewer than ``k`` other records)."""
     return list(skyband_counts(tree, k).keys())
+
+
+@dataclass(frozen=True)
+class SkybandDelta:
+    """What changed in a :class:`SkybandIndex` after one insert or delete.
+
+    Attributes
+    ----------
+    position:
+        Row-store position of the inserted / deleted record.
+    record_id:
+        Its stable identifier.
+    values:
+        Its attribute vector.
+    count:
+        Its own dominator count (at insertion time, or just before deletion).
+    changed_ids:
+        Identifiers of the *other* live records whose dominator count changed
+        (every record dominated by the updated one), aligned with
+        ``changed_counts``.
+    changed_counts:
+        The new dominator counts of those records.
+    """
+
+    position: int
+    record_id: int
+    values: np.ndarray
+    count: int
+    changed_ids: np.ndarray
+    changed_counts: np.ndarray
+
+
+class SkybandIndex:
+    """Exact per-record dominator counts with incremental insert / delete.
+
+    The index keeps an append-only row store (positions are stable for the
+    lifetime of a record) plus an *active* mask, so deletions never shift the
+    positions other components — notably the shared aggregate R-tree of
+    :class:`repro.engine.Engine` — may hold.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        n, d = dataset.cardinality, dataset.dimensionality
+        capacity = max(8, 2 * n)
+        self._values = np.empty((capacity, d), dtype=float)
+        self._values[:n] = dataset.values
+        self._ids = np.empty(capacity, dtype=np.int64)
+        self._ids[:n] = dataset.ids
+        self._active = np.zeros(capacity, dtype=bool)
+        self._active[:n] = True
+        self._counts = np.zeros(capacity, dtype=np.int64)
+        self._counts[:n] = dominated_counts(dataset)
+        self._size = n
+        self._position_by_id = {int(record_id): i for i, record_id in enumerate(dataset.ids)}
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes per record."""
+        return int(self._values.shape[1])
+
+    @property
+    def active_count(self) -> int:
+        """Number of live records."""
+        return len(self._position_by_id)
+
+    def __contains__(self, record_id: int) -> bool:
+        return int(record_id) in self._position_by_id
+
+    def position_of(self, record_id: int) -> int:
+        """Row-store position of a live record."""
+        return self._position_by_id[int(record_id)]
+
+    def active_positions(self) -> np.ndarray:
+        """Row-store positions of all live records, in insertion order."""
+        return np.nonzero(self._active[: self._size])[0]
+
+    def values_at(self, positions: np.ndarray | int) -> np.ndarray:
+        """Attribute rows for the given row-store positions."""
+        return self._values[positions]
+
+    def ids_at(self, positions: np.ndarray | int) -> np.ndarray:
+        """Record identifiers for the given row-store positions."""
+        return self._ids[positions]
+
+    def count_of(self, record_id: int) -> int:
+        """Exact number of live records dominating ``record_id``."""
+        return int(self._counts[self._position_by_id[int(record_id)]])
+
+    def counts_by_id(self) -> dict[int, int]:
+        """Mapping record id -> dominator count over all live records."""
+        positions = self.active_positions()
+        return {
+            int(record_id): int(count)
+            for record_id, count in zip(self._ids[positions], self._counts[positions])
+        }
+
+    def skyband_ids(self, k: int) -> set[int]:
+        """Identifiers of the k-skyband (dominated by fewer than ``k`` records)."""
+        positions = self.active_positions()
+        mask = self._counts[positions] < k
+        return {int(record_id) for record_id in self._ids[positions[mask]]}
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def _grow(self) -> None:
+        capacity = self._values.shape[0]
+        if self._size < capacity:
+            return
+        new_capacity = 2 * capacity
+        for name in ("_values", "_ids", "_active", "_counts"):
+            old = getattr(self, name)
+            shape = (new_capacity,) + old.shape[1:]
+            grown = np.zeros(shape, dtype=old.dtype)
+            grown[:capacity] = old
+            setattr(self, name, grown)
+
+    def insert(self, values: np.ndarray, record_id: int) -> SkybandDelta:
+        """Add one record and patch every affected dominator count."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.dimensionality,):
+            raise InvalidDatasetError("inserted record dimensionality does not match")
+        if not np.all(np.isfinite(values)):
+            raise InvalidDatasetError("inserted record values must be finite")
+        record_id = int(record_id)
+        if record_id in self._position_by_id:
+            raise InvalidDatasetError(f"record id {record_id} is already live")
+        self._grow()
+        position = self._size
+
+        live = self.active_positions()
+        rows = self._values[live]
+        dominated_mask = np.all(values[None, :] >= rows, axis=1) & np.any(
+            values[None, :] > rows, axis=1
+        )
+        dominator_mask = np.all(rows >= values[None, :], axis=1) & np.any(
+            rows > values[None, :], axis=1
+        )
+        changed = live[dominated_mask]
+        self._counts[changed] += 1
+
+        self._values[position] = values
+        self._ids[position] = record_id
+        self._active[position] = True
+        self._counts[position] = int(np.sum(dominator_mask))
+        self._size += 1
+        self._position_by_id[record_id] = position
+        return SkybandDelta(
+            position=position,
+            record_id=record_id,
+            values=values.copy(),
+            count=int(self._counts[position]),
+            changed_ids=self._ids[changed].copy(),
+            changed_counts=self._counts[changed].copy(),
+        )
+
+    def delete(self, record_id: int) -> SkybandDelta:
+        """Remove one record and patch every affected dominator count."""
+        record_id = int(record_id)
+        if record_id not in self._position_by_id:
+            raise KeyError(f"no live record with id {record_id}")
+        position = self._position_by_id.pop(record_id)
+        values = self._values[position].copy()
+        count = int(self._counts[position])
+        self._active[position] = False
+
+        live = self.active_positions()
+        rows = self._values[live]
+        dominated_mask = np.all(values[None, :] >= rows, axis=1) & np.any(
+            values[None, :] > rows, axis=1
+        )
+        changed = live[dominated_mask]
+        self._counts[changed] -= 1
+        return SkybandDelta(
+            position=position,
+            record_id=record_id,
+            values=values,
+            count=count,
+            changed_ids=self._ids[changed].copy(),
+            changed_counts=self._counts[changed].copy(),
+        )
+
+    def snapshot(self, name: str = "dataset") -> Dataset:
+        """Immutable :class:`~repro.records.Dataset` of the live records."""
+        positions = self.active_positions()
+        return Dataset(self._values[positions], ids=self._ids[positions], name=name)
+
+    def backing_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(values, ids)`` views over the row store, tombstones included.
+
+        Positions index into these views and stay stable for the lifetime of
+        a record, which is what lets an R-tree bound to them be maintained
+        incrementally (see :meth:`repro.index.rtree.AggregateRTree.rebind_dataset`).
+        The views are only valid until the next :meth:`insert` (which may grow
+        the underlying arrays); re-fetch after every update.
+        """
+        return self._values[: self._size], self._ids[: self._size]
 
 
 def skyline_reference(dataset: Dataset) -> list[int]:

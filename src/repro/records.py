@@ -15,6 +15,7 @@ out-score it (so they only shift its rank by a constant), and records that are
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -153,6 +154,7 @@ class Dataset:
         id_array.setflags(write=False)
         self._ids = id_array
         self.name = name
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # basic container protocol
@@ -197,6 +199,53 @@ class Dataset:
             raise KeyError(f"no record with id {record_id}")
         index = int(matches[0])
         return Record(record_id, self._values[index])
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content hash identifying this dataset's exact values and ids.
+
+        Two datasets with the same records (same values, same ids, same row
+        order) share a fingerprint; any insertion, deletion or value change
+        produces a different one.  Used by :mod:`repro.engine` to key its
+        result cache, so stale results can never be served after an update.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(np.int64(self._values.shape[0]).tobytes())
+            digest.update(np.int64(self._values.shape[1]).tobytes())
+            digest.update(np.ascontiguousarray(self._values).tobytes())
+            digest.update(np.ascontiguousarray(self._ids).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def next_record_id(self) -> int:
+        """Smallest identifier larger than every existing one (stable-id policy)."""
+        if self.cardinality == 0:
+            return 0
+        return int(self._ids.max()) + 1
+
+    def with_appended(
+        self, values: Sequence[float] | np.ndarray, record_id: int | None = None
+    ) -> "Dataset":
+        """Return a new dataset with one record appended under a fresh stable id.
+
+        ``record_id`` defaults to :meth:`next_record_id`; passing an id that is
+        already in use raises :class:`InvalidDatasetError`.
+        """
+        row = np.asarray(values, dtype=float)
+        if row.shape != (self.dimensionality,):
+            raise InvalidDatasetError(
+                "appended record dimensionality does not match the dataset"
+            )
+        if record_id is None:
+            record_id = self.next_record_id()
+        elif np.any(self._ids == record_id):
+            raise InvalidDatasetError(f"record id {record_id} is already in use")
+        new_values = np.vstack([self._values, row[None, :]])
+        new_ids = np.concatenate([self._ids, [record_id]])
+        return Dataset(new_values, ids=new_ids, name=self.name)
 
     # ------------------------------------------------------------------ #
     # scoring and ranking

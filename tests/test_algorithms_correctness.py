@@ -16,7 +16,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Dataset, cta, kspr, lpcta, pcta, verify_result
+from repro import Dataset, InvalidQueryError, cta, kspr, lpcta, pcta, verify_result
 from repro.baselines import brute_force_kspr, imaxrank, kskyband_cta
 from repro.core.original_space import olp_cta, op_cta
 from repro.data import anticorrelated_dataset, correlated_dataset, independent_dataset
@@ -162,8 +162,12 @@ class TestEdgeCases:
         assert result.impact_probability() == pytest.approx(1.0, abs=1e-6)
 
     def test_k_larger_than_dataset(self):
+        # k > n is rejected up front (the focal record would trivially be in
+        # every top-k); k == n is the largest meaningful shortlist.
         dataset = Dataset([[0.9, 0.1], [0.1, 0.9]])
-        result = kspr(dataset, [0.3, 0.3], 5)
+        with pytest.raises(InvalidQueryError):
+            kspr(dataset, [0.3, 0.3], 5)
+        result = kspr(dataset, [0.95, 0.95], dataset.cardinality)
         assert result.impact_probability() == pytest.approx(1.0, abs=1e-6)
 
     def test_focal_inside_dataset_is_ignored_as_competitor(self, small_ind_dataset):

@@ -1,0 +1,198 @@
+"""Cache correctness: identity of served results and precision of invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, kspr
+from repro.data import independent_dataset
+from repro.engine import Engine, ResultCache
+from repro.engine.cache import CacheEntry, options_key
+
+
+@pytest.fixture
+def cached_engine() -> Engine:
+    return Engine(independent_dataset(60, 3, seed=23), k_max=8)
+
+
+class TestResultCacheUnit:
+    def _entry(self, tag: str, k: int = 2) -> CacheEntry:
+        return CacheEntry(
+            fingerprint="fp",
+            focal=np.array([float(len(tag)), 1.0]),
+            k=k,
+            method=tag,
+            opts=(),
+            result=object(),  # type: ignore[arg-type] - identity is all that matters here
+        )
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        first, second, third = self._entry("a"), self._entry("b"), self._entry("c")
+        cache.put(first)
+        cache.put(second)
+        assert cache.get(first.key) is first.result  # refresh "a"
+        cache.put(third)  # evicts "b", the least recently used
+        assert cache.get(second.key) is None
+        assert cache.get(first.key) is first.result
+        assert cache.get(third.key) is third.result
+        assert cache.evictions == 1
+
+    def test_apply_update_rekeys_unaffected_entries(self):
+        cache = ResultCache(capacity=4)
+        keep, drop = self._entry("keep"), self._entry("drop")
+        cache.put(keep)
+        cache.put(drop)
+        retained, dropped = cache.apply_update(
+            "fp2", lambda entry: entry.method == "drop"
+        )
+        assert (retained, dropped) == (1, 1)
+        assert keep.fingerprint == "fp2"
+        assert cache.get(keep.key) is keep.result
+        assert all(entry.method != "drop" for entry in cache.entries())
+
+    def test_options_key_is_order_insensitive(self):
+        assert options_key({"a": 1, "b": "x"}) == options_key({"b": "x", "a": 1})
+
+
+class TestServedResults:
+    def test_cache_hit_returns_identical_object(self, cached_engine):
+        focal = cached_engine.dataset.values[4] * 0.98
+        cold = cached_engine.query(focal, 3)
+        hot = cached_engine.query(focal, 3)
+        assert hot is cold  # byte-identical by construction
+        info = cached_engine.cache_info()
+        assert info["hits"] == 1
+        assert info["size"] == 1
+
+    def test_different_options_are_distinct_entries(self, cached_engine):
+        focal = cached_engine.dataset.values[4] * 0.98
+        with_geometry = cached_engine.query(focal, 3)
+        without_geometry = cached_engine.query(focal, 3, finalize_geometry=False)
+        assert with_geometry is not without_geometry
+        assert cached_engine.cache_info()["size"] == 2
+
+    def test_served_result_matches_cold_recomputation(
+        self, cached_engine, results_identical
+    ):
+        focal = cached_engine.dataset.values[9] * 0.97
+        served = cached_engine.query(focal, 4)
+        fresh = Engine(cached_engine.dataset, k_max=8)
+        results_identical(served, fresh.query(focal, 4))
+
+
+class TestPreciseInvalidation:
+    """Inserted/deleted records must invalidate exactly the affected entries."""
+
+    @pytest.fixture
+    def engine(self) -> Engine:
+        # A hand-built 2-D dataset so dominance relations are obvious.
+        values = np.array(
+            [
+                [0.90, 0.20],
+                [0.20, 0.90],
+                [0.70, 0.60],
+                [0.60, 0.70],
+                [0.30, 0.30],
+                [0.15, 0.10],
+            ]
+        )
+        return Engine(Dataset(values), k_max=6)
+
+    def test_insert_dominated_by_focal_keeps_entry(self, engine):
+        high_focal = np.array([0.95, 0.95])  # dominates the new record below
+        cached = engine.query(high_focal, 2)
+        engine.insert([0.40, 0.40])
+        assert engine.query(high_focal, 2) is cached
+        assert engine.stats.entries_retained >= 1
+
+    def test_insert_competitor_drops_entry_and_recomputes_correctly(
+        self, engine, results_identical
+    ):
+        low_focal = np.array([0.25, 0.85])
+        cached = engine.query(low_focal, 2)
+        engine.insert([0.80, 0.75])  # competitor of the focal, in-band
+        refreshed = engine.query(low_focal, 2)
+        assert refreshed is not cached
+        results_identical(refreshed, Engine(engine.dataset, k_max=6).query(low_focal, 2))
+
+    def test_one_update_splits_entries_by_relevance(self, engine):
+        high_focal = np.array([0.95, 0.95])
+        low_focal = np.array([0.25, 0.85])
+        high_cached = engine.query(high_focal, 2)
+        low_cached = engine.query(low_focal, 2)
+        # Dominated by high_focal but an in-band competitor of low_focal.
+        engine.insert([0.80, 0.75])
+        assert engine.query(high_focal, 2) is high_cached
+        assert engine.query(low_focal, 2) is not low_cached
+        info = engine.cache_info()
+        assert info["invalidated"] == 1
+        assert info["rekeyed"] >= 1
+
+    def test_delete_of_irrelevant_record_keeps_entry(self, engine):
+        high_focal = np.array([0.95, 0.95])
+        cached = engine.query(high_focal, 2)
+        # Record [0.15, 0.10] is dominated by the focal record: irrelevant.
+        engine.delete(5)
+        assert engine.query(high_focal, 2) is cached
+
+    def test_delete_of_competitor_drops_entry(self, engine, results_identical):
+        low_focal = np.array([0.25, 0.85])
+        cached = engine.query(low_focal, 2)
+        engine.delete(2)  # [0.70, 0.60] competes with the focal record
+        refreshed = engine.query(low_focal, 2)
+        assert refreshed is not cached
+        results_identical(refreshed, Engine(engine.dataset, k_max=6).query(low_focal, 2))
+        naive = kspr(engine.dataset, low_focal, 2)
+        assert abs(refreshed.total_volume() - naive.total_volume()) < 1e-9
+
+    def test_out_of_band_insert_keeps_pruned_entry_and_stays_correct(self):
+        # Chain of dominators: a new record below the chain has many
+        # dominators, so a k=1 entry for an incomparable focal must survive —
+        # and keeping it must be sound: a from-scratch answer on the updated
+        # dataset covers the same region.
+        values = np.array(
+            [
+                [0.90, 0.90],
+                [0.80, 0.80],
+                [0.70, 0.70],
+                [0.60, 0.60],
+                [0.05, 0.95],
+            ]
+        )
+        engine = Engine(Dataset(values), k_max=4)
+        focal = np.array([0.10, 0.95])  # incomparable to the chain records
+        cached = engine.query(focal, 1)
+        engine.insert([0.50, 0.40])  # competitor of focal, but 4 dominators >= k=1
+        assert engine.query(focal, 1) is cached
+        naive = kspr(engine.dataset, focal, 1)
+        assert abs(cached.total_volume() - naive.total_volume()) < 1e-9
+
+    def test_out_of_band_delete_keeps_pruned_entry_and_stays_correct(self):
+        values = np.array(
+            [
+                [0.90, 0.90],
+                [0.80, 0.80],
+                [0.50, 0.40],  # 2 dominators: out of every k<=2 band
+                [0.05, 0.95],
+            ]
+        )
+        engine = Engine(Dataset(values), k_max=4)
+        focal = np.array([0.10, 0.95])
+        cached = engine.query(focal, 2)
+        engine.delete(2)  # the out-of-band record
+        assert engine.query(focal, 2) is cached
+        naive = kspr(engine.dataset, focal, 2)
+        assert abs(cached.total_volume() - naive.total_volume()) < 1e-9
+
+    def test_insert_delete_fingerprint_round_trip_revives_nothing_stale(self, engine):
+        focal = np.array([0.25, 0.85])
+        cached = engine.query(focal, 2)
+        record_id = engine.insert([0.80, 0.75])  # invalidates the entry
+        engine.delete(record_id)  # dataset returns to the original state
+        refreshed = engine.query(focal, 2)
+        # The entry was dropped on insert; after the round trip the query is
+        # recomputed cold but must equal the original answer.
+        assert refreshed is not cached
+        assert abs(refreshed.total_volume() - cached.total_volume()) < 1e-12

@@ -1,0 +1,186 @@
+"""Tests for incremental index maintenance: R-tree insert/delete, SkybandIndex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.data import independent_dataset
+from repro.exceptions import InvalidDatasetError
+from repro.index.dominance import dominated_counts
+from repro.index.rtree import AggregateRTree
+from repro.index.skyline import (
+    SkybandIndex,
+    k_skyband_reference,
+    skyline,
+    skyline_reference,
+)
+
+
+def tree_invariants(tree: AggregateRTree, expected_positions: set[int]) -> None:
+    """Structural invariants every (maintained) aggregate R-tree must satisfy."""
+    seen: list[int] = []
+    for node in tree.iter_nodes():
+        if node.is_leaf:
+            seen.extend(int(p) for p in node.record_positions)
+            if node.record_positions.shape[0]:
+                points = tree.dataset.values[node.record_positions]
+                assert np.all(points >= node.mbr.low - 1e-12)
+                assert np.all(points <= node.mbr.high + 1e-12)
+            assert node.count == node.record_positions.shape[0]
+        else:
+            assert node.children, "internal nodes must have children"
+            assert node.count == sum(child.count for child in node.children)
+            for child in node.children:
+                assert np.all(child.mbr.low >= node.mbr.low - 1e-12)
+                assert np.all(child.mbr.high <= node.mbr.high + 1e-12)
+    assert sorted(seen) == sorted(expected_positions)
+    assert tree.root.count == len(expected_positions)
+
+
+class TestIncrementalRTree:
+    def test_insert_positions_after_rebind(self):
+        base = independent_dataset(40, 3, seed=31)
+        extra = independent_dataset(25, 3, seed=32)
+        tree = AggregateRTree(base, fanout=4)
+        combined = Dataset(
+            np.vstack([base.values, extra.values]),
+            ids=np.arange(65),
+        )
+        tree.rebind_dataset(combined)
+        for position in range(40, 65):
+            tree.insert_position(position)
+        tree_invariants(tree, set(range(65)))
+        # The maintained tree must answer skyline queries exactly.
+        assert sorted(skyline(tree)) == sorted(skyline_reference(combined))
+
+    def test_delete_positions(self):
+        dataset = independent_dataset(50, 3, seed=33)
+        tree = AggregateRTree(dataset, fanout=4)
+        removed = {3, 11, 27, 42, 49}
+        for position in removed:
+            tree.delete_position(position)
+        remaining = set(range(50)) - removed
+        tree_invariants(tree, remaining)
+        survivors = dataset.subset(sorted(remaining))
+        assert sorted(skyline(tree)) == sorted(skyline_reference(survivors))
+
+    def test_delete_unknown_position_raises(self):
+        dataset = independent_dataset(10, 2, seed=34)
+        tree = AggregateRTree(dataset, fanout=4)
+        tree.delete_position(4)
+        with pytest.raises(KeyError):
+            tree.delete_position(4)
+
+    def test_delete_down_to_empty_then_reinsert(self):
+        dataset = independent_dataset(12, 2, seed=35)
+        tree = AggregateRTree(dataset, fanout=3)
+        for position in range(12):
+            tree.delete_position(position)
+        assert tree.root.count == 0
+        for position in range(12):
+            tree.insert_position(position)
+        tree_invariants(tree, set(range(12)))
+
+    def test_interleaved_churn_keeps_tree_consistent(self):
+        rng = np.random.default_rng(36)
+        base = independent_dataset(30, 3, seed=36)
+        extra_values = rng.random((40, 3))
+        all_values = np.vstack([base.values, extra_values])
+        backing = Dataset(all_values, ids=np.arange(70))
+        tree = AggregateRTree(base, fanout=4)
+        tree.rebind_dataset(backing)
+
+        live = set(range(30))
+        next_new = 30
+        for step in range(60):
+            if (step % 3 != 2 and next_new < 70) or len(live) < 5:
+                tree.insert_position(next_new)
+                live.add(next_new)
+                next_new += 1
+            else:
+                victim = int(rng.choice(sorted(live)))
+                tree.delete_position(victim)
+                live.remove(victim)
+        tree_invariants(tree, live)
+        survivors = backing.subset(sorted(live))
+        assert sorted(skyline(tree)) == sorted(
+            skyline_reference(survivors)
+        )
+
+    def test_rebind_rejects_incompatible_datasets(self):
+        dataset = independent_dataset(10, 3, seed=37)
+        tree = AggregateRTree(dataset, fanout=4)
+        with pytest.raises(InvalidDatasetError):
+            tree.rebind_dataset(independent_dataset(10, 4, seed=38))
+        with pytest.raises(InvalidDatasetError):
+            tree.rebind_dataset(independent_dataset(5, 3, seed=39))
+
+
+class TestSkybandIndex:
+    def test_initial_counts_match_reference(self):
+        dataset = independent_dataset(60, 3, seed=41)
+        index = SkybandIndex(dataset)
+        reference = dominated_counts(dataset)
+        assert index.counts_by_id() == {
+            int(record_id): int(count)
+            for record_id, count in zip(dataset.ids, reference)
+        }
+
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_skyband_ids_match_reference(self, k):
+        dataset = independent_dataset(60, 3, seed=42)
+        index = SkybandIndex(dataset)
+        assert index.skyband_ids(k) == set(k_skyband_reference(dataset, k))
+
+    def test_incremental_updates_track_full_recomputation(self):
+        rng = np.random.default_rng(43)
+        dataset = independent_dataset(40, 3, seed=43)
+        index = SkybandIndex(dataset)
+        next_id = dataset.next_record_id()
+        for step in range(50):
+            if step % 3 != 2 or index.active_count < 5:
+                index.insert(rng.random(3), next_id)
+                next_id += 1
+            else:
+                live_ids = sorted(index.counts_by_id())
+                index.delete(int(rng.choice(live_ids)))
+            snapshot = index.snapshot()
+            reference = dominated_counts(snapshot)
+            assert index.counts_by_id() == {
+                int(record_id): int(count)
+                for record_id, count in zip(snapshot.ids, reference)
+            }
+
+    def test_delta_reports_changed_records(self):
+        values = np.array([[0.5, 0.5], [0.2, 0.2], [0.8, 0.1]])
+        index = SkybandIndex(Dataset(values))
+        delta = index.insert(np.array([0.6, 0.6]), 3)
+        # The new record dominates records 0 and 1 but not 2.
+        assert set(int(rid) for rid in delta.changed_ids) == {0, 1}
+        assert delta.count == 0
+        removal = index.delete(3)
+        assert set(int(rid) for rid in removal.changed_ids) == {0, 1}
+        assert index.counts_by_id() == {0: 0, 1: 1, 2: 0}
+
+    def test_duplicate_or_unknown_ids_rejected(self):
+        index = SkybandIndex(independent_dataset(5, 2, seed=44))
+        with pytest.raises(InvalidDatasetError):
+            index.insert(np.array([0.5, 0.5]), 2)  # id 2 is live
+        with pytest.raises(KeyError):
+            index.delete(99)
+
+    def test_capacity_growth_preserves_state(self):
+        dataset = independent_dataset(4, 2, seed=45)
+        index = SkybandIndex(dataset)
+        rng = np.random.default_rng(45)
+        for offset in range(30):  # force several capacity doublings
+            index.insert(rng.random(2), 4 + offset)
+        snapshot = index.snapshot()
+        assert snapshot.cardinality == 34
+        reference = dominated_counts(snapshot)
+        assert index.counts_by_id() == {
+            int(record_id): int(count)
+            for record_id, count in zip(snapshot.ids, reference)
+        }

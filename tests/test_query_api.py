@@ -46,6 +46,41 @@ class TestKsprDispatch:
             kspr(small_ind_dataset, np.ones((2, 2)), 2)
 
 
+class TestQueryValidation:
+    """Early input validation in kspr() (before any algorithm work starts)."""
+
+    @pytest.mark.parametrize("bad_k", [0, -3, 1.5, "2", True])
+    def test_non_positive_or_non_integer_k_rejected(self, small_ind_dataset, bad_k):
+        focal = small_ind_dataset.values[0]
+        with pytest.raises(InvalidQueryError):
+            kspr(small_ind_dataset, focal, bad_k)
+
+    def test_numpy_integer_k_accepted(self, restaurants):
+        dataset, kyma = restaurants
+        result = kspr(dataset, kyma, np.int64(3))
+        assert result.k == 3
+
+    def test_k_larger_than_cardinality_rejected(self, small_ind_dataset, restaurants):
+        focal = small_ind_dataset.values[0]
+        with pytest.raises(InvalidQueryError):
+            kspr(small_ind_dataset, focal, small_ind_dataset.cardinality + 1)
+        # k == n is the boundary and stays legal.
+        dataset, kyma = restaurants
+        result = kspr(dataset, kyma, dataset.cardinality, finalize_geometry=False)
+        assert result.k == dataset.cardinality
+
+    def test_focal_dimensionality_mismatch_rejected(self, small_ind_dataset):
+        with pytest.raises(InvalidQueryError):
+            kspr(small_ind_dataset, [0.5, 0.5], 2)
+        with pytest.raises(InvalidQueryError):
+            kspr(small_ind_dataset, [0.5, 0.5, 0.5, 0.5], 2)
+
+    @pytest.mark.parametrize("bad_value", [np.nan, np.inf, -np.inf])
+    def test_non_finite_focal_rejected(self, small_ind_dataset, bad_value):
+        with pytest.raises(InvalidQueryError):
+            kspr(small_ind_dataset, [0.5, bad_value, 0.5], 2)
+
+
 class TestVerification:
     def test_rank_under_weights_matches_dataset_rank(self, small_ind_dataset):
         weights = np.full(3, 1.0 / 3.0)

@@ -135,3 +135,36 @@ class TestFocalPartition:
         dataset = Dataset([[1, 2, 3]])
         with pytest.raises(InvalidDatasetError):
             dataset.partition_by_focal(np.array([1.0, 2.0]))
+
+
+class TestIdentityAndAppend:
+    def test_fingerprint_is_content_addressed(self):
+        first = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        same = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert first.fingerprint() == same.fingerprint()
+        different_values = Dataset([[1.0, 2.0], [3.0, 4.5]])
+        assert first.fingerprint() != different_values.fingerprint()
+        different_ids = Dataset([[1.0, 2.0], [3.0, 4.0]], ids=[5, 6])
+        assert first.fingerprint() != different_ids.fingerprint()
+        reordered = Dataset([[3.0, 4.0], [1.0, 2.0]], ids=[1, 0])
+        assert first.fingerprint() != reordered.fingerprint()
+
+    def test_next_record_id_is_past_every_existing_id(self):
+        assert Dataset([[1.0, 2.0]], ids=[41]).next_record_id() == 42
+        assert Dataset([[1.0, 2.0], [3.0, 4.0]]).next_record_id() == 2
+
+    def test_with_appended_assigns_fresh_stable_id(self):
+        dataset = Dataset([[1.0, 2.0], [3.0, 4.0]], ids=[10, 3])
+        grown = dataset.with_appended([5.0, 6.0])
+        assert grown.cardinality == 3
+        assert list(grown.ids) == [10, 3, 11]
+        assert np.array_equal(grown.values[-1], [5.0, 6.0])
+        # The original dataset is untouched (immutability).
+        assert dataset.cardinality == 2
+
+    def test_with_appended_rejects_bad_input(self):
+        dataset = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(InvalidDatasetError):
+            dataset.with_appended([1.0, 2.0, 3.0])  # wrong dimensionality
+        with pytest.raises(InvalidDatasetError):
+            dataset.with_appended([9.0, 9.0], record_id=1)  # id in use
