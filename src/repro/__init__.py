@@ -53,6 +53,7 @@ from .core import (
     verify_result,
 )
 from .engine import Engine, QueryBatch, Workload, generate_workload, replay
+from .parallel import ShardedExecutor, parallel_cta
 from .exceptions import (
     GeometryError,
     InvalidDatasetError,
@@ -72,6 +73,8 @@ __all__ = [
     "Workload",
     "generate_workload",
     "replay",
+    "ShardedExecutor",
+    "parallel_cta",
     "kspr",
     "cta",
     "pcta",

@@ -39,6 +39,7 @@ def brute_force_kspr(
         return build_result(context, [], None, finalize_geometry)
 
     enumeration_start = time.perf_counter()
+    context.prime_hyperplanes()
     hyperplanes = [
         context.hyperplane_for(record.record_id) for record in context.competitors
     ]

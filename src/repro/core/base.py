@@ -28,7 +28,13 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InvalidQueryError
-from ..geometry.halfspace import Halfspace, Hyperplane, build_hyperplane
+from ..geometry.halfspace import (
+    Halfspace,
+    Hyperplane,
+    build_hyperplane,
+    build_hyperplanes,
+    original_space_hyperplanes,
+)
 from ..geometry.linprog import LPCounters
 from ..index.rtree import AggregateRTree
 from ..records import Dataset, FocalPartition
@@ -131,6 +137,34 @@ class QueryContext:
                 hyperplane = Hyperplane(values - self.focal, 0.0, record_id=record_id)
             self._hyperplanes[record_id] = hyperplane
         return hyperplane
+
+    def prime_hyperplanes(self, record_ids: Sequence[int] | None = None) -> None:
+        """Batch-build (and cache) the hyperplanes of many competitors at once.
+
+        One vectorised pass over the competitor matrix replaces per-record
+        ``record_by_id`` scans and coefficient arithmetic — the dominant
+        setup cost of large queries.  ``record_ids`` defaults to every
+        competitor; ids whose hyperplane is already cached are skipped, so
+        priming composes with the shared per-focal cache of
+        :class:`PreparedQuery`.
+        """
+        cache = self._hyperplanes
+        all_ids = self.competitors.ids
+        if record_ids is None:
+            wanted = [int(record_id) for record_id in all_ids if int(record_id) not in cache]
+        else:
+            wanted = [int(record_id) for record_id in record_ids if int(record_id) not in cache]
+        if not wanted:
+            return
+        row_by_id = {int(record_id): row for row, record_id in enumerate(all_ids)}
+        rows = np.asarray([row_by_id[record_id] for record_id in wanted], dtype=int)
+        values = self.competitors.values[rows]
+        if self.space == TRANSFORMED_SPACE:
+            built = build_hyperplanes(values, self.focal, wanted)
+        else:
+            built = original_space_hyperplanes(values, self.focal, wanted)
+        for record_id, hyperplane in zip(wanted, built):
+            cache[record_id] = hyperplane
 
     def record_values(self, record_id: int) -> np.ndarray:
         """Attribute vector of a competitor record."""

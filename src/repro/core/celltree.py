@@ -28,13 +28,17 @@ Optimisations implemented here, matching the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from ..geometry.halfspace import Halfspace, Hyperplane
-from ..geometry.linprog import LPCounters, cell_feasible
+from ..geometry.linprog import ConstraintStack, LPCounters, solve_feasibility
 from .cell import CellView
+
+#: Side-test tolerance used by the witness shortcut (matches
+#: :meth:`repro.geometry.halfspace.Halfspace.contains`).
+_SIDE_TOLERANCE = 1e-12
 
 __all__ = ["CellTreeNode", "CellTree", "InsertionStats"]
 
@@ -69,6 +73,7 @@ class CellTreeNode:
         "witnesses",
         "depth",
         "bounds_checked",
+        "constraints",
     )
 
     def __init__(self, parent: "CellTreeNode | None", edge: Halfspace | None) -> None:
@@ -92,6 +97,10 @@ class CellTreeNode:
         self.depth = 0 if parent is None else parent.depth + 1
         #: Whether LP-CTA has already computed look-ahead bounds for this leaf.
         self.bounds_checked = False
+        #: Pre-assembled constraint rows of the root path (space bounds plus
+        #: edge labels), shared with siblings up to the parent rows.  Freed
+        #: when the node is eliminated or reported.
+        self.constraints: ConstraintStack | None = None
 
     #: Maximum number of cached witness points kept per node.
     MAX_WITNESSES = 12
@@ -170,7 +179,22 @@ class CellTreeNode:
 class CellTree:
     """Incrementally maintained arrangement of record-induced hyperplanes."""
 
-    def __init__(self, dimensionality: int, k: int, counters: LPCounters | None = None) -> None:
+    def __init__(
+        self,
+        dimensionality: int,
+        k: int,
+        counters: LPCounters | None = None,
+        root_constraints: ConstraintStack | None = None,
+        root_witnesses: Sequence[np.ndarray] | None = None,
+    ) -> None:
+        """Create an empty tree over the whole preference space.
+
+        ``root_constraints`` / ``root_witnesses`` restrict the root to a
+        sub-region of the space: the parallel execution layer
+        (:mod:`repro.parallel`) uses them to re-root a worker's tree at one
+        leaf of a partially expanded tree, so the worker continues exactly
+        the computation the single-process run would have performed there.
+        """
         if dimensionality < 1:
             raise ValueError("transformed preference space needs dimensionality >= 1")
         if k < 1:
@@ -180,8 +204,17 @@ class CellTree:
         self.counters = counters if counters is not None else LPCounters()
         self.stats = InsertionStats()
         self.root = CellTreeNode(parent=None, edge=None)
-        # The root's witness: centroid of the simplex, always interior.
-        self.root.add_witness(np.full(dimensionality, 1.0 / (dimensionality + 1.0)))
+        self.root.constraints = (
+            root_constraints
+            if root_constraints is not None
+            else ConstraintStack.for_space(dimensionality)
+        )
+        if root_witnesses is None:
+            # The root's witness: centroid of the simplex, always interior.
+            self.root.add_witness(np.full(dimensionality, 1.0 / (dimensionality + 1.0)))
+        else:
+            for witness in root_witnesses:
+                self.root.add_witness(np.asarray(witness, dtype=float))
 
     # ------------------------------------------------------------------ #
     # insertion (Algorithm 1 / Algorithm 2 routine)
@@ -231,32 +264,29 @@ class CellTree:
 
         positive = hyperplane.positive()
         negative = hyperplane.negative()
-        path = node.path_halfspaces()
 
         # Witness shortcut (Section 4.3.2, generalised to a small cache of
-        # interior points): an O(d) side test may settle one or both of the
-        # feasibility questions without an LP call.
-        negative_side_nonempty = False
-        positive_side_nonempty = False
+        # interior points): one vectorised sign evaluation over every cached
+        # witness may settle one or both feasibility questions without an LP.
         negative_witness: np.ndarray | None = None
         positive_witness: np.ndarray | None = None
-        for witness in node.witnesses:
-            if negative_witness is None and negative.contains(witness):
-                negative_side_nonempty = True
-                negative_witness = witness
+        if node.witnesses:
+            values = hyperplane.evaluate_many(np.stack(node.witnesses))
+            negative_hits = np.nonzero(values < -_SIDE_TOLERANCE)[0]
+            positive_hits = np.nonzero(values > _SIDE_TOLERANCE)[0]
+            if negative_hits.size:
+                negative_witness = node.witnesses[int(negative_hits[0])]
                 self.stats.witness_shortcuts += 1
-            elif positive_witness is None and positive.contains(witness):
-                positive_side_nonempty = True
-                positive_witness = witness
+            if positive_hits.size:
+                positive_witness = node.witnesses[int(positive_hits[0])]
                 self.stats.witness_shortcuts += 1
-            if negative_witness is not None and positive_witness is not None:
-                break
 
         # Case I: node entirely inside the positive halfspace?
-        if not negative_side_nonempty:
-            outcome = cell_feasible(path + [negative], self.dimensionality, self.counters)
+        if negative_witness is None:
+            outcome = solve_feasibility(
+                *node.constraints.probe(negative), self.dimensionality, self.counters
+            )
             if outcome.feasible:
-                negative_side_nonempty = True
                 negative_witness = outcome.witness
                 node.add_witness(outcome.witness)
             else:
@@ -264,10 +294,11 @@ class CellTree:
                 return
 
         # Case II: node entirely inside the negative halfspace?
-        if not positive_side_nonempty:
-            outcome = cell_feasible(path + [positive], self.dimensionality, self.counters)
+        if positive_witness is None:
+            outcome = solve_feasibility(
+                *node.constraints.probe(positive), self.dimensionality, self.counters
+            )
             if outcome.feasible:
-                positive_side_nonempty = True
                 positive_witness = outcome.witness
                 node.add_witness(outcome.witness)
             else:
@@ -311,13 +342,19 @@ class CellTree:
         """Split a leaf into two children labelled with the two halfspaces."""
         left = CellTreeNode(parent=leaf, edge=negative)
         right = CellTreeNode(parent=leaf, edge=positive)
+        left.constraints = leaf.constraints.push(negative)
+        right.constraints = leaf.constraints.push(positive)
         left.add_witness(negative_witness)
         right.add_witness(positive_witness)
-        for witness in leaf.witnesses:
-            if negative.contains(witness):
-                left.add_witness(witness)
-            elif positive.contains(witness):
-                right.add_witness(witness)
+        if leaf.witnesses:
+            # One vectorised sign evaluation distributes every cached witness
+            # to the child whose (open) halfspace contains it.
+            values = negative.hyperplane.evaluate_many(np.stack(leaf.witnesses))
+            for witness, value in zip(leaf.witnesses, values):
+                if value < -_SIDE_TOLERANCE:
+                    left.add_witness(witness)
+                elif value > _SIDE_TOLERANCE:
+                    right.add_witness(witness)
         leaf.left = left
         leaf.right = right
         self.stats.nodes_created += 2
@@ -327,6 +364,7 @@ class CellTree:
         if node.eliminated:
             return
         node.eliminated = True
+        node.constraints = None  # no further probes reach this node
         self.stats.nodes_eliminated += 1
 
     def eliminate(self, node: CellTreeNode) -> None:
@@ -336,6 +374,7 @@ class CellTree:
     def report(self, node: CellTreeNode) -> None:
         """Mark a leaf as reported (removed from further processing)."""
         node.reported = True
+        node.constraints = None  # no further probes reach this node
 
     # ------------------------------------------------------------------ #
     # traversal
@@ -392,6 +431,8 @@ class CellTree:
             total += per_node + per_halfspace_ref * (1 + len(node.cover))
             if node.witness is not None:
                 total += node.witness.nbytes
+            if node.constraints is not None:
+                total += node.constraints.memory_bytes()
             if node.left is not None:
                 stack.append(node.left)
             if node.right is not None:

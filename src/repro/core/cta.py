@@ -60,6 +60,7 @@ def cta(
 
     tree = context.new_celltree()
     insertion_start = time.perf_counter()
+    context.prime_hyperplanes()
     for record in context.competitors:
         context.stats.processed_records += 1
         tree.insert(context.hyperplane_for(record.record_id))

@@ -119,6 +119,7 @@ def run_progressive(
 
         # --- insert the batch (Invariant 1 holds by construction) ---------
         phase_start = time.perf_counter()
+        context.prime_hyperplanes(batch)
         for record_id in batch:
             dominators = graph.dominators_of(record_id)
             context.stats.processed_records += 1

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..core.result import KSPRResult
 
-__all__ = ["QuerySpec", "QueryOutcome", "BatchReport", "QueryBatch", "run_batch"]
+__all__ = ["QuerySpec", "QueryOutcome", "BatchReport", "QueryBatch", "run_batch", "coerce_spec"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +104,18 @@ class BatchReport:
         }
 
 
+def coerce_spec(index: int, spec: QuerySpec | Sequence) -> QueryOutcome:
+    """Normalise a spec (or ``(focal, k[, method])`` tuple) into a blank outcome."""
+    if isinstance(spec, QuerySpec):
+        return QueryOutcome(index=index, spec=spec)
+    focal, k, *rest = spec
+    method = rest[0] if rest else None
+    return QueryOutcome(
+        index=index,
+        spec=QuerySpec(focal=np.asarray(focal, dtype=float), k=int(k), method=method),
+    )
+
+
 class QueryBatch:
     """Execute independent queries against one engine, concurrently.
 
@@ -114,11 +126,20 @@ class QueryBatch:
     max_workers:
         Thread-pool size; ``None`` uses the executor default.  ``1`` gives
         deterministic sequential execution (useful for timing comparisons).
+    workers:
+        When greater than 1, the batch is executed by worker *processes*
+        instead of threads (see :class:`repro.parallel.ShardedExecutor`):
+        queries are sharded per focal record, answered in parallel on
+        separate cores, and the results — identical to what the engine would
+        compute — are adopted into the engine's result cache so follow-up
+        queries hit.  Threads share the GIL; processes do not, which is what
+        makes CPU-bound kSPR batches scale with cores.
     """
 
-    def __init__(self, engine, max_workers: int | None = None) -> None:
+    def __init__(self, engine, max_workers: int | None = None, workers: int | None = None) -> None:
         self.engine = engine
         self.max_workers = max_workers
+        self.workers = workers
 
     def run(self, specs: Iterable[QuerySpec | tuple]) -> BatchReport:
         """Run every query and return a :class:`BatchReport` in submission order.
@@ -127,7 +148,9 @@ class QueryBatch:
         ``(focal, k, method)`` tuple.  Failures are captured per-query (the
         batch always completes).
         """
-        normalized = [self._coerce(index, spec) for index, spec in enumerate(specs)]
+        if self.workers is not None and self.workers > 1:
+            return self._run_sharded(specs)
+        normalized = [coerce_spec(index, spec) for index, spec in enumerate(specs)]
         hits_before = self.engine.stats.cache_hits
         cold_before = self.engine.stats.cold_queries
 
@@ -146,15 +169,70 @@ class QueryBatch:
             cold_queries=self.engine.stats.cold_queries - cold_before,
         )
 
-    @staticmethod
-    def _coerce(index: int, spec: QuerySpec | Sequence) -> QueryOutcome:
-        if isinstance(spec, QuerySpec):
-            return QueryOutcome(index=index, spec=spec)
-        focal, k, *rest = spec
-        method = rest[0] if rest else None
-        return QueryOutcome(
-            index=index,
-            spec=QuerySpec(focal=np.asarray(focal, dtype=float), k=int(k), method=method),
+    def _run_sharded(self, specs: Iterable[QuerySpec | tuple]) -> BatchReport:
+        """Multi-process execution: shard per focal, adopt results into the engine.
+
+        The dataset snapshot and its dominator counts are captured atomically
+        (one engine lock acquisition) so worker pruning always matches the
+        snapshot it runs against, even while updates race the batch.  Specs
+        the engine has already answered are served from its result cache;
+        only the misses are dispatched to the worker pool.
+        """
+        from ..parallel.executor import ShardedExecutor  # local import: avoids a cycle
+
+        engine = self.engine
+        snapshot, counts = engine.snapshot_state()
+        fingerprint = snapshot.fingerprint()
+        start = time.perf_counter()
+
+        normalized = [coerce_spec(index, spec) for index, spec in enumerate(specs)]
+        pending: list[QueryOutcome] = []
+        engine_hits = 0
+        for outcome in normalized:
+            spec = outcome.spec
+            cached = engine.cached_result(
+                spec.focal, spec.k, spec.method, spec.option_dict(), fingerprint=fingerprint
+            )
+            if cached is not None:
+                outcome.result = cached
+                engine_hits += 1
+            else:
+                pending.append(outcome)
+
+        executor_hits = 0
+        cold_queries = 0
+        if pending:
+            executor = ShardedExecutor(
+                snapshot,
+                workers=self.workers,
+                method=engine.default_method,
+                k_max=engine.k_max,
+                fanout=engine.fanout,
+                prune_skyband=engine.prune_skyband,
+                dominator_counts=counts,
+            )
+            sub_report = executor.run([outcome.spec for outcome in pending])
+            executor_hits = sub_report.cache_hits
+            cold_queries = sub_report.cold_queries
+            for outcome, computed in zip(pending, sub_report.outcomes):
+                outcome.result = computed.result
+                outcome.error = computed.error
+                outcome.seconds = computed.seconds
+                if computed.result is not None:
+                    engine.adopt_result(
+                        fingerprint,
+                        outcome.spec.focal,
+                        outcome.spec.k,
+                        outcome.spec.method,
+                        outcome.spec.option_dict(),
+                        computed.result,
+                    )
+
+        return BatchReport(
+            outcomes=normalized,
+            wall_seconds=time.perf_counter() - start,
+            cache_hits=engine_hits + executor_hits,
+            cold_queries=cold_queries,
         )
 
     def _run_one(self, outcome: QueryOutcome) -> QueryOutcome:

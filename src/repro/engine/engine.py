@@ -87,6 +87,7 @@ class EngineStats:
     deletes: int = 0
     entries_invalidated: int = 0
     entries_retained: int = 0
+    adopted_results: int = 0
     cold_seconds: float = 0.0
     prepare_seconds: float = 0.0
 
@@ -102,6 +103,7 @@ class EngineStats:
             "deletes": self.deletes,
             "entries_invalidated": self.entries_invalidated,
             "entries_retained": self.entries_retained,
+            "adopted_results": self.adopted_results,
             "cold_seconds": self.cold_seconds,
             "prepare_seconds": self.prepare_seconds,
         }
@@ -234,6 +236,76 @@ class Engine:
         """Number of attributes per record."""
         return self._snapshot.dimensionality
 
+    @property
+    def default_method(self) -> str:
+        """Canonical name of the default query algorithm."""
+        return self._default_method
+
+    @property
+    def fanout(self) -> int:
+        """Fanout of the aggregate R-trees the engine builds."""
+        return self._fanout
+
+    @property
+    def prune_skyband(self) -> bool:
+        """Whether cold queries run against the k-skyband slice."""
+        return self._prune
+
+    def dominator_counts(self) -> np.ndarray:
+        """Per-record dominator counts aligned with ``dataset`` rows.
+
+        Served from the incrementally-maintained skyband index, so handing
+        them to a :class:`repro.parallel.ShardedExecutor` skips the O(n²)
+        recount entirely.
+        """
+        return self.snapshot_state()[1]
+
+    def snapshot_state(self) -> tuple[Dataset, np.ndarray]:
+        """Atomically capture ``(snapshot, dominator counts)``.
+
+        Both are read under one lock acquisition so the counts are guaranteed
+        to describe exactly the returned snapshot — the pair a
+        :class:`repro.parallel.ShardedExecutor` needs to reproduce the
+        engine's pruning even while updates race the caller.
+        """
+        with self._lock:
+            snapshot = self._snapshot
+            counts = np.asarray(
+                [self._skyband.count_of(int(record_id)) for record_id in snapshot.ids],
+                dtype=int,
+            )
+        return snapshot, counts
+
+    def cached_result(
+        self,
+        focal: np.ndarray | Sequence[float],
+        k: int,
+        method: str | None = None,
+        options: dict | None = None,
+        fingerprint: str | None = None,
+    ) -> KSPRResult | None:
+        """Peek the result cache: the cached answer, or None — never computes.
+
+        ``fingerprint`` pins the lookup to a specific dataset state (default:
+        the current one); a hit is counted as a served query in the engine
+        statistics.
+        """
+        method_name, _ = resolve_method(method or self._default_method)
+        focal_array = np.asarray(focal, dtype=float)
+        options = dict(options or {})
+        if method_name == "lpcta" and isinstance(options.get("bounds_mode"), str):
+            options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+        opts = options_key(options)
+        with self._lock:
+            if fingerprint is None:
+                fingerprint = self._snapshot.fingerprint()
+            key = (fingerprint, focal_array.tobytes(), int(k), method_name, opts)
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                self.stats.queries += 1
+                self.stats.cache_hits += 1
+            return cached
+
     def skyband_ids(self, k: int) -> set[int]:
         """Identifiers of the current k-skyband, from the maintained counts."""
         with self._lock:
@@ -272,6 +344,7 @@ class Engine:
         focal: np.ndarray | Sequence[float],
         k: int,
         method: str | None = None,
+        workers: int | None = None,
         **options,
     ) -> KSPRResult:
         """Answer one kSPR query, reusing every piece of prepared state it can.
@@ -280,6 +353,13 @@ class Engine:
         identical to a fresh ``kspr()`` call on the current dataset (with
         pruning enabled, identical up to the decomposition of the answer into
         cells — the covered region and the ranks are always the same).
+
+        ``workers`` (> 1) accelerates a *cold* ``"cta"`` query by sharding
+        its CellTree expansion across worker processes
+        (:func:`repro.parallel.parallel_cta`); the answer — and hence the
+        cached entry — is identical to the single-process run, so ``workers``
+        deliberately does not participate in the cache key.  Methods without
+        a sharded implementation run serially regardless of ``workers``.
         """
         method_name, method_func = resolve_method(method or self._default_method)
         with self._lock:
@@ -303,7 +383,21 @@ class Engine:
         entry, snapshot = self._prepared_for(focal_array, int(k), space)
 
         cold_start = time.perf_counter()
-        result = method_func(snapshot, focal_array, int(k), prepared=entry.prepared, **options)
+        if workers is not None and workers > 1 and method_name == "cta":
+            from ..parallel.subtree import parallel_cta  # local import: avoids a cycle
+
+            result = parallel_cta(
+                snapshot,
+                focal_array,
+                int(k),
+                workers=workers,
+                prepared=entry.prepared,
+                **options,
+            )
+        else:
+            result = method_func(
+                snapshot, focal_array, int(k), prepared=entry.prepared, **options
+            )
         cold_seconds = time.perf_counter() - cold_start
 
         with self._lock:
@@ -324,6 +418,47 @@ class Engine:
                     )
                 )
         return result
+
+    def adopt_result(
+        self,
+        fingerprint: str,
+        focal: np.ndarray | Sequence[float],
+        k: int,
+        method: str | None,
+        options: dict,
+        result: KSPRResult,
+    ) -> bool:
+        """Install an externally computed result into the result cache.
+
+        Used by :class:`repro.engine.QueryBatch` (``workers=N``) to make
+        answers computed in worker processes serve future :meth:`query` calls
+        as cache hits.  ``fingerprint`` must identify the dataset state the
+        result was computed against; the entry is rejected (returns False)
+        when an update has superseded that state, so a stale answer can never
+        enter the cache.
+        """
+        method_name, _ = resolve_method(method or self._default_method)
+        focal_array = np.asarray(focal, dtype=float)
+        if method_name == "lpcta" and isinstance(options.get("bounds_mode"), str):
+            options = {**options, "bounds_mode": BoundsMode(options["bounds_mode"])}
+        opts = options_key(options)
+        with self._lock:
+            if fingerprint != self._snapshot.fingerprint():
+                return False
+            pruned = self._prune and int(k) <= self.k_max
+            self._result_cache.put(
+                CacheEntry(
+                    fingerprint=fingerprint,
+                    focal=focal_array,
+                    k=int(k),
+                    method=method_name,
+                    opts=opts,
+                    result=result,
+                    pruned=pruned,
+                )
+            )
+            self.stats.adopted_results += 1
+            return True
 
     def _prepared_for(
         self, focal: np.ndarray, k: int, space: str

@@ -30,7 +30,14 @@ from ..exceptions import InvalidQueryError
 from ..records import Dataset
 from .batch import BatchReport, QueryBatch, QuerySpec
 
-__all__ = ["WorkloadQuery", "Workload", "zipf_weights", "generate_workload", "replay"]
+__all__ = [
+    "WorkloadQuery",
+    "Workload",
+    "zipf_weights",
+    "resolve_rng",
+    "generate_workload",
+    "replay",
+]
 
 
 @dataclass(frozen=True)
@@ -110,6 +117,24 @@ def zipf_weights(count: int, s: float = 1.1) -> np.ndarray:
     return weights / weights.sum()
 
 
+def resolve_rng(
+    rng: np.random.Generator | int | None, seed: int | None = None
+) -> np.random.Generator:
+    """Normalise the ``rng`` / ``seed`` pair into a Generator.
+
+    An explicit generator (or integer seed) in ``rng`` wins; otherwise a new
+    generator is built from ``seed``.  All randomness in this module flows
+    through the returned generator — there is deliberately no module-level
+    random state anywhere, so two calls with the same seed produce identical
+    workloads in any process, order or interleaving.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is not None:
+        return np.random.default_rng(int(rng))
+    return np.random.default_rng(seed)
+
+
 def generate_workload(
     dataset: Dataset,
     size: int,
@@ -121,6 +146,7 @@ def generate_workload(
     perturb: float = 0.0,
     method: str | None = None,
     seed: int | None = None,
+    rng: np.random.Generator | int | None = None,
 ) -> Workload:
     """Generate a Zipf-skewed, mixed-``k`` query trace over ``dataset``.
 
@@ -145,13 +171,17 @@ def generate_workload(
     method:
         Optional per-query method override recorded in the trace.
     seed:
-        Seed for reproducible traces.
+        Seed for reproducible traces (same seed ⇒ identical workload).
+    rng:
+        Explicit :class:`numpy.random.Generator` (or integer seed) taking
+        precedence over ``seed``; pass a shared generator to interleave
+        workload generation with other seeded draws deterministically.
     """
     if size < 1:
         raise InvalidQueryError("workload size must be at least 1")
     if dataset.cardinality == 0:
         raise InvalidQueryError("cannot generate a workload over an empty dataset")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(rng, seed)
 
     pool = dataset.cardinality if focal_pool is None else min(focal_pool, dataset.cardinality)
     popularity = np.argsort(-dataset.values.sum(axis=1), kind="stable")[:pool]

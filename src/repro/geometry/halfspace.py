@@ -19,12 +19,20 @@ that open cells are handled correctly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import GeometryError
 
-__all__ = ["Hyperplane", "Halfspace", "build_hyperplane", "build_halfspace"]
+__all__ = [
+    "Hyperplane",
+    "Halfspace",
+    "build_hyperplane",
+    "build_halfspace",
+    "build_hyperplanes",
+    "original_space_hyperplanes",
+]
 
 #: Sign labels used throughout the package.
 POSITIVE = "+"
@@ -67,6 +75,10 @@ class Hyperplane:
     def evaluate(self, point: np.ndarray) -> float:
         """Signed value ``coefficients . point - offset`` at ``point``."""
         return float(np.dot(self.coefficients, np.asarray(point, dtype=float)) - self.offset)
+
+    def evaluate_many(self, points: np.ndarray) -> np.ndarray:
+        """Signed values at every row of ``points`` in one vectorised pass."""
+        return np.asarray(points, dtype=float) @ self.coefficients - self.offset
 
     def positive(self) -> "Halfspace":
         """The open halfspace where the inducing record out-scores the focal one."""
@@ -166,6 +178,52 @@ def build_hyperplane(record: np.ndarray, focal: np.ndarray, record_id: int = -1)
     coefficients = (record[:-1] - record[-1]) - (focal[:-1] - focal[-1])
     offset = float(focal[-1] - record[-1])
     return Hyperplane(coefficients, offset, record_id=record_id)
+
+
+def build_hyperplanes(
+    records: np.ndarray,
+    focal: np.ndarray,
+    record_ids: Sequence[int] | np.ndarray,
+) -> list[Hyperplane]:
+    """Batch version of :func:`build_hyperplane` for many records at once.
+
+    All coefficient vectors and offsets are produced by one NumPy pass over
+    the ``(n, d)`` record matrix instead of ``n`` per-record slicing rounds,
+    which is the dominant setup cost of large queries.
+    """
+    records = np.asarray(records, dtype=float)
+    focal = np.asarray(focal, dtype=float)
+    if records.ndim != 2 or focal.ndim != 1 or records.shape[1] != focal.shape[0]:
+        raise GeometryError("records must be an (n, d) matrix matching the focal vector")
+    if records.shape[1] < 2:
+        raise GeometryError("records need at least two attributes")
+    coefficients = (records[:, :-1] - records[:, -1:]) - (focal[:-1] - focal[-1])[None, :]
+    offsets = focal[-1] - records[:, -1]
+    return [
+        Hyperplane(row, float(offset), record_id=int(record_id))
+        for row, offset, record_id in zip(coefficients, offsets, record_ids)
+    ]
+
+
+def original_space_hyperplanes(
+    records: np.ndarray,
+    focal: np.ndarray,
+    record_ids: Sequence[int] | np.ndarray,
+) -> list[Hyperplane]:
+    """Batch constructor for the original-space hyperplanes ``(r - p) . w = 0``.
+
+    Used by the Appendix C variants, where the hyperplane passes through the
+    origin of the full ``d``-dimensional preference space.
+    """
+    records = np.asarray(records, dtype=float)
+    focal = np.asarray(focal, dtype=float)
+    if records.ndim != 2 or focal.ndim != 1 or records.shape[1] != focal.shape[0]:
+        raise GeometryError("records must be an (n, d) matrix matching the focal vector")
+    coefficients = records - focal[None, :]
+    return [
+        Hyperplane(row, 0.0, record_id=int(record_id))
+        for row, record_id in zip(coefficients, record_ids)
+    ]
 
 
 def build_halfspace(

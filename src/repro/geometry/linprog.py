@@ -41,9 +41,11 @@ __all__ = [
     "LPCounters",
     "FeasibilityResult",
     "OptimizeResult",
+    "ConstraintStack",
     "preference_space_constraints",
     "halfspaces_to_constraints",
     "cell_feasible",
+    "solve_feasibility",
     "minimize_linear",
     "maximize_linear",
     "chebyshev_center",
@@ -155,21 +157,73 @@ def _assemble(
     return np.vstack(rows), np.asarray(rhs, dtype=float)
 
 
-def cell_feasible(
-    halfspaces: Sequence[Halfspace],
+class ConstraintStack:
+    """An immutable ``A . w <= b`` constraint system grown one row at a time.
+
+    The CellTree keeps one stack per node: a child's stack is its parent's
+    plus the single halfspace labelling the connecting edge.  Each ``push``
+    copies the parent rows into one contiguous matrix (storage is per node,
+    not shared), but the whole root path is assembled exactly once per node
+    — one NumPy concatenation — instead of being rebuilt from a Python list
+    of halfspaces on every feasibility probe of that node.
+    """
+
+    __slots__ = ("matrix", "rhs")
+
+    def __init__(self, matrix: np.ndarray, rhs: np.ndarray) -> None:
+        self.matrix = matrix
+        self.rhs = rhs
+
+    @classmethod
+    def for_space(cls, dimensionality: int, include_space_bounds: bool = True) -> "ConstraintStack":
+        """The root stack: only the preference-space boundary constraints."""
+        if not include_space_bounds:
+            return cls(np.zeros((0, dimensionality)), np.zeros(0))
+        constraints = preference_space_constraints(dimensionality)
+        return cls(
+            np.vstack([coefficients for coefficients, _ in constraints]),
+            np.asarray([bound for _, bound in constraints], dtype=float),
+        )
+
+    @property
+    def rows(self) -> int:
+        """Number of constraint rows currently on the stack."""
+        return int(self.matrix.shape[0])
+
+    def push(self, halfspace: Halfspace) -> "ConstraintStack":
+        """A new stack extended by one halfspace (the receiver is unchanged)."""
+        coefficients, bound = halfspace.as_leq_constraint()
+        return ConstraintStack(
+            np.vstack([self.matrix, coefficients[None, :]]),
+            np.append(self.rhs, bound),
+        )
+
+    def probe(self, halfspace: Halfspace) -> tuple[np.ndarray, np.ndarray]:
+        """One-off ``(A, b)`` with ``halfspace`` appended, for a feasibility probe."""
+        coefficients, bound = halfspace.as_leq_constraint()
+        return (
+            np.vstack([self.matrix, coefficients[None, :]]),
+            np.append(self.rhs, bound),
+        )
+
+    def memory_bytes(self) -> int:
+        """Size of the stored rows in bytes (space-consumption accounting)."""
+        return int(self.matrix.nbytes + self.rhs.nbytes)
+
+
+def solve_feasibility(
+    matrix: np.ndarray,
+    bounds: np.ndarray,
     dimensionality: int,
     counters: LPCounters | None = None,
-    include_space_bounds: bool = True,
     tolerance: float = FEASIBILITY_TOLERANCE,
 ) -> FeasibilityResult:
-    """Test whether the open intersection of ``halfspaces`` is non-empty.
+    """Interior-feasibility LP over a pre-assembled ``A . w <= b`` system.
 
-    Maximises the interior margin ``t`` such that every constraint
-    ``a . w <= b`` is satisfied with slack ``t * ||a||``.  The cell has a
-    non-empty interior iff the optimal ``t`` exceeds ``tolerance``.  The
-    optimiser's weight vector is returned as a witness interior point.
+    This is the hot-path entry used by the CellTree (via
+    :class:`ConstraintStack`); :func:`cell_feasible` is the halfspace-list
+    convenience wrapper around it.
     """
-    matrix, bounds = _assemble(halfspaces, dimensionality, include_space_bounds)
     if counters is not None:
         counters.record("feasibility", matrix.shape[0])
     if matrix.shape[0] == 0:
@@ -199,6 +253,24 @@ def cell_feasible(
     if margin <= tolerance:
         return FeasibilityResult(False, None, margin)
     return FeasibilityResult(True, outcome.x[:-1].copy(), margin)
+
+
+def cell_feasible(
+    halfspaces: Sequence[Halfspace],
+    dimensionality: int,
+    counters: LPCounters | None = None,
+    include_space_bounds: bool = True,
+    tolerance: float = FEASIBILITY_TOLERANCE,
+) -> FeasibilityResult:
+    """Test whether the open intersection of ``halfspaces`` is non-empty.
+
+    Maximises the interior margin ``t`` such that every constraint
+    ``a . w <= b`` is satisfied with slack ``t * ||a||``.  The cell has a
+    non-empty interior iff the optimal ``t`` exceeds ``tolerance``.  The
+    optimiser's weight vector is returned as a witness interior point.
+    """
+    matrix, bounds = _assemble(halfspaces, dimensionality, include_space_bounds)
+    return solve_feasibility(matrix, bounds, dimensionality, counters, tolerance)
 
 
 def _optimize(

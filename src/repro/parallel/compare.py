@@ -1,0 +1,60 @@
+"""Structural equality of kSPR results — the merge-verification oracle.
+
+The parallel execution layer promises answers *identical* to the
+single-process path, not merely region-equivalent ones.  These helpers make
+that claim checkable: two results are structurally identical when they report
+the same regions, in the same order, with the same ranks, the same bounding
+halfspaces (record ids, signs, coefficients, offsets) and matching witnesses.
+
+Used by the test-suite (via ``tests/conftest.py``), the differential harness
+and ``benchmarks/bench_parallel_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import KSPRResult
+
+__all__ = ["assert_results_identical", "results_identical"]
+
+
+def assert_results_identical(actual: KSPRResult, expected: KSPRResult) -> None:
+    """Raise ``AssertionError`` unless the two results are structurally identical."""
+    assert len(actual) == len(expected), (
+        f"region count differs: {len(actual)} != {len(expected)}"
+    )
+    assert actual.k == expected.k
+    assert np.allclose(actual.focal, expected.focal)
+    for position, (region_a, region_b) in enumerate(zip(actual.regions, expected.regions)):
+        assert region_a.rank == region_b.rank, f"region {position}: rank differs"
+        assert region_a.dimensionality == region_b.dimensionality
+        assert len(region_a.halfspaces) == len(region_b.halfspaces), (
+            f"region {position}: halfspace count differs"
+        )
+        for half_a, half_b in zip(region_a.halfspaces, region_b.halfspaces):
+            assert half_a.record_id == half_b.record_id, f"region {position}: record id differs"
+            assert half_a.sign == half_b.sign, f"region {position}: sign differs"
+            assert np.array_equal(
+                half_a.hyperplane.coefficients, half_b.hyperplane.coefficients
+            ), f"region {position}: coefficients differ"
+            assert half_a.hyperplane.offset == half_b.hyperplane.offset, (
+                f"region {position}: offset differs"
+            )
+        if region_a.witness is None or region_b.witness is None:
+            assert region_a.witness is None and region_b.witness is None, (
+                f"region {position}: witness presence differs"
+            )
+        else:
+            assert np.allclose(region_a.witness, region_b.witness), (
+                f"region {position}: witness differs"
+            )
+
+
+def results_identical(actual: KSPRResult, expected: KSPRResult) -> bool:
+    """Boolean form of :func:`assert_results_identical`."""
+    try:
+        assert_results_identical(actual, expected)
+    except AssertionError:
+        return False
+    return True

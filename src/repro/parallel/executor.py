@@ -1,0 +1,272 @@
+"""Process-pool execution of multi-query kSPR workloads (per-focal shards).
+
+:class:`ShardedExecutor` spreads a batch of independent queries over worker
+processes.  Each worker reproduces the cold-query path of
+:class:`repro.engine.Engine` — focal partitioning, k-skyband pruning from
+precomputed dominator counts, a per-focal competitor R-tree and hyperplane
+cache, and per-worker result deduplication — so every answer is identical to
+what the engine (or a plain :func:`repro.kspr` call, with pruning disabled)
+would produce for the same query.
+
+The expensive O(n²) dominator-count pass is performed **once** in the parent
+and shipped to the workers, instead of being recomputed per process.  Shards
+are planned per focal record (see
+:func:`~repro.parallel.shards.plan_focal_shards`) so prepared state is never
+duplicated across workers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.base import PreparedQuery
+from ..core.bounds import BoundsMode
+from ..core.query import resolve_method, validate_query
+from ..engine.batch import BatchReport, QuerySpec, coerce_spec
+from ..engine.cache import options_key
+from ..index.dominance import dominated_counts
+from ..index.rtree import AggregateRTree
+from ..records import Dataset, FocalPartition
+from .shards import plan_focal_shards, resolve_workers
+
+__all__ = ["ShardedExecutor"]
+
+#: Module-level state installed in every worker process by the initializer.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(
+    values: np.ndarray,
+    ids: np.ndarray,
+    name: str,
+    counts_by_id: dict[int, int] | None,
+    settings: dict,
+) -> None:
+    """Install the shared dataset and settings in a worker process."""
+    _WORKER_STATE["dataset"] = Dataset(values, ids=ids, name=name)
+    _WORKER_STATE["counts_by_id"] = counts_by_id
+    _WORKER_STATE["settings"] = settings
+
+
+def _portable_error(error: Exception | None) -> Exception | None:
+    """The original exception when it survives pickling, else a RuntimeError.
+
+    Keeps error handling type-stable across worker counts: a query that
+    raises :class:`~repro.exceptions.InvalidQueryError` surfaces that same
+    exception type whether it ran in-process or in a worker.
+    """
+    if error is None:
+        return None
+    try:
+        pickle.dumps(error)
+        return error
+    except Exception:  # noqa: BLE001 - unpicklable exotic exception
+        return RuntimeError(repr(error))
+
+
+def _serve_task(
+    tasks: list[tuple[int, list[float], int, str | None, tuple]],
+) -> tuple[list[tuple[int, object, Exception | None, float]], int, int]:
+    """Worker entry point: answer a shard of queries against the shared state."""
+    dataset = _WORKER_STATE["dataset"]
+    counts_by_id = _WORKER_STATE["counts_by_id"]
+    settings = _WORKER_STATE["settings"]
+    outcomes, hits, cold = _serve(dataset, counts_by_id, settings, tasks)
+    safe = []
+    for index, result, error, seconds in outcomes:
+        safe.append((index, result, _portable_error(error), seconds))
+    return safe, hits, cold
+
+
+def _serve(
+    dataset: Dataset,
+    counts_by_id: dict[int, int] | None,
+    settings: dict,
+    tasks: Iterable[tuple[int, Sequence[float], int, str | None, tuple]],
+) -> tuple[list[tuple[int, object, Exception | None, float]], int, int]:
+    """Answer queries sequentially, reusing per-focal prepared state.
+
+    Mirrors :meth:`repro.engine.Engine.query`'s cold path: identical focal
+    partitioning, identical k-skyband slice (from the same dominator counts),
+    identical STR-built competitor tree — hence identical answers.
+    """
+    prepared_cache: dict[tuple, PreparedQuery] = {}
+    hyperplane_caches: dict[tuple, dict] = {}
+    result_cache: dict[tuple, object] = {}
+    outcomes: list[tuple[int, object, Exception | None, float]] = []
+    hits = 0
+    cold = 0
+    for index, focal, k, method, option_items in tasks:
+        start = time.perf_counter()
+        try:
+            options = dict(option_items)
+            method_name, method_func = resolve_method(method or settings["method"])
+            focal_array = validate_query(dataset, np.asarray(focal, dtype=float), int(k))
+            if method_name == "lpcta" and isinstance(options.get("bounds_mode"), str):
+                options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+            space = (
+                "original"
+                if method_name in ("op_cta", "olp_cta")
+                else options.get("space", "transformed")
+            )
+            qkey = (focal_array.tobytes(), int(k), method_name, options_key(options))
+            cached = result_cache.get(qkey)
+            if cached is not None:
+                hits += 1
+                outcomes.append((index, cached, None, time.perf_counter() - start))
+                continue
+
+            pruned = (
+                counts_by_id is not None
+                and settings["prune"]
+                and int(k) <= settings["k_max"]
+            )
+            band = int(k) if pruned else 0
+            pkey = (focal_array.tobytes(), band, space)
+            prepared = prepared_cache.get(pkey)
+            if prepared is None:
+                partition = dataset.partition_by_focal(focal_array)
+                if pruned:
+                    competitors = partition.competitors
+                    keep = [
+                        i
+                        for i, record_id in enumerate(competitors.ids)
+                        if counts_by_id[int(record_id)] < int(k)
+                    ]
+                    if len(keep) < competitors.cardinality:
+                        partition = FocalPartition(
+                            competitors=competitors.subset(keep),
+                            dominators=partition.dominators,
+                            dominated=partition.dominated,
+                        )
+                tree = AggregateRTree(partition.competitors, fanout=settings["fanout"])
+                hkey = (focal_array.tobytes(), space)
+                prepared = PreparedQuery(
+                    partition, tree, hyperplane_caches.setdefault(hkey, {})
+                )
+                prepared_cache[pkey] = prepared
+
+            cold += 1
+            result = method_func(dataset, focal_array, int(k), prepared=prepared, **options)
+            result_cache[qkey] = result
+            outcomes.append((index, result, None, time.perf_counter() - start))
+        except Exception as error:  # noqa: BLE001 - reported per query
+            outcomes.append((index, None, error, time.perf_counter() - start))
+    return outcomes, hits, cold
+
+
+class ShardedExecutor:
+    """Answer batches of kSPR queries across worker processes.
+
+    Parameters
+    ----------
+    dataset:
+        The records to query (a :class:`~repro.records.Dataset` or raw array).
+    workers:
+        Number of worker processes; ``None`` uses every available core, and
+        ``1`` runs sequentially in-process (the timing baseline).
+    method / k_max / fanout / prune_skyband:
+        Same semantics as :class:`repro.engine.Engine`; answers for a given
+        query are identical to the engine's.
+    dominator_counts:
+        Optional precomputed per-record dominator counts (aligned with the
+        dataset rows) to skip the O(n²) pass, e.g. from a live
+        :class:`~repro.index.skyline.SkybandIndex`.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset | np.ndarray,
+        *,
+        workers: int | None = None,
+        method: str = "lpcta",
+        k_max: int = 16,
+        fanout: int = 32,
+        prune_skyband: bool = True,
+        dominator_counts: np.ndarray | None = None,
+    ) -> None:
+        if not isinstance(dataset, Dataset):
+            dataset = Dataset(np.asarray(dataset, dtype=float))
+        self.dataset = dataset
+        self.workers = resolve_workers(workers)
+        self.settings = {
+            "method": resolve_method(method)[0],
+            "k_max": int(k_max),
+            "fanout": int(fanout),
+            "prune": bool(prune_skyband),
+        }
+        if prune_skyband:
+            counts = (
+                np.asarray(dominator_counts, dtype=int)
+                if dominator_counts is not None
+                else dominated_counts(dataset)
+            )
+            self.counts_by_id = {
+                int(record_id): int(count) for record_id, count in zip(dataset.ids, counts)
+            }
+        else:
+            self.counts_by_id = None
+
+    def run(self, specs: Iterable[QuerySpec | tuple]) -> BatchReport:
+        """Execute every query and return a :class:`BatchReport` in submission order."""
+        normalized = [coerce_spec(index, spec) for index, spec in enumerate(specs)]
+        tasks = [
+            (
+                outcome.index,
+                outcome.spec.focal.tolist(),
+                outcome.spec.k,
+                outcome.spec.method,
+                outcome.spec.options,
+            )
+            for outcome in normalized
+        ]
+        start = time.perf_counter()
+        if self.workers == 1 or len(tasks) <= 1:
+            raw, hits, cold = _serve(self.dataset, self.counts_by_id, self.settings, tasks)
+            errors = {index: error for index, _, error, _ in raw}
+        else:
+            plan = plan_focal_shards(
+                [np.asarray(task[1], dtype=float).tobytes() for task in tasks],
+                self.workers,
+            )
+            chunks = [[tasks[index] for index in shard] for shard in plan]
+            raw = []
+            hits = 0
+            cold = 0
+            errors = {}
+            with ProcessPoolExecutor(
+                max_workers=len(chunks),
+                initializer=_init_worker,
+                initargs=(
+                    self.dataset.values,
+                    self.dataset.ids,
+                    self.dataset.name,
+                    self.counts_by_id,
+                    self.settings,
+                ),
+            ) as pool:
+                for shard_raw, shard_hits, shard_cold in pool.map(_serve_task, chunks):
+                    hits += shard_hits
+                    cold += shard_cold
+                    for index, result, error, seconds in shard_raw:
+                        raw.append((index, result, None, seconds))
+                        errors[index] = error
+        wall = time.perf_counter() - start
+
+        by_index = {index: (result, seconds) for index, result, _, seconds in raw}
+        for outcome in normalized:
+            result, seconds = by_index[outcome.index]
+            outcome.result = result
+            outcome.error = errors.get(outcome.index)
+            outcome.seconds = seconds
+        return BatchReport(
+            outcomes=normalized,
+            wall_seconds=wall,
+            cache_hits=hits,
+            cold_queries=cold,
+        )

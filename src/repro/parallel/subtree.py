@@ -1,0 +1,212 @@
+"""Per-subtree sharded execution of CTA: one query, many cores.
+
+The CellTree insertion algorithm recurses independently into the two
+subtrees of every split node — once a node exists, nothing that happens in
+its sibling's subtree can influence it.  That makes the tree a natural
+sharding boundary for a *single* query:
+
+1. a short **seed phase** inserts hyperplanes serially until the tree has at
+   least ``workers * shard_factor`` active leaves;
+2. every active leaf becomes a :class:`~repro.parallel.shards.SubtreeShard`
+   and is shipped to a worker process, which re-roots a fresh CellTree at
+   the leaf (same constraint stack, same witnesses, same rank offset) and
+   inserts the remaining hyperplanes;
+3. the per-shard answers are merged back in the seed tree's depth-first
+   order, so the reported cells — bounding halfspaces, ranks and witnesses —
+   are **identical** to what the single-process run produces.
+
+The equivalence argument: a worker performs exactly the LP probes, witness
+tests, splits and eliminations the serial run performs inside that subtree,
+in the same order, on the same constraint rows; and a depth-first traversal
+of the full tree is the concatenation of the seed tree's depth-first leaf
+order with each leaf's subtree traversal.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from ..core.base import PreparedQuery, ReportedCell, build_result, prepare_context
+from ..core.celltree import CellTree
+from ..core.result import KSPRResult
+from ..geometry.halfspace import Hyperplane
+from ..geometry.linprog import ConstraintStack, LPCounters
+from ..records import Dataset
+from .shards import SubtreeShard, resolve_workers
+
+__all__ = ["parallel_cta", "DEFAULT_SHARD_FACTOR"]
+
+#: Target number of shards per worker.  Over-partitioning keeps workers busy
+#: when shards die early (their whole subtree gets eliminated).
+DEFAULT_SHARD_FACTOR = 4
+
+
+def _active_leaf_count(tree: CellTree) -> int:
+    return sum(1 for _ in tree.iter_active_leaves())
+
+
+def _expand_shard_group(
+    payload: tuple[int, int, list[Hyperplane], list[SubtreeShard]],
+) -> list[tuple[int, list[tuple[tuple, int, np.ndarray | None]], tuple[int, int, int], int]]:
+    """Worker entry point: expand a group of subtree shards to completion.
+
+    Returns, per shard, its index, the reported cells (local bounding
+    halfspaces, absolute rank, witness), the LP counter totals and the
+    number of CellTree nodes created.
+    """
+    dimensionality, k, hyperplanes, shards = payload
+    results = []
+    for shard in shards:
+        counters = LPCounters()
+        constraints = ConstraintStack.for_space(dimensionality)
+        for halfspace in shard.prefix:
+            constraints = constraints.push(halfspace)
+        k_local = k - shard.rank_offset
+        tree = CellTree(
+            dimensionality,
+            k_local,
+            counters=counters,
+            root_constraints=constraints,
+            root_witnesses=shard.witnesses,
+        )
+        for hyperplane in hyperplanes:
+            tree.insert(hyperplane)
+            if tree.is_exhausted:
+                break
+        cells = []
+        for leaf in tree.iter_active_leaves():
+            rank_local = leaf.rank()
+            if rank_local <= k_local:
+                cells.append(
+                    (
+                        tuple(leaf.path_halfspaces()),
+                        rank_local + shard.rank_offset,
+                        leaf.witness,
+                    )
+                )
+        results.append(
+            (
+                shard.index,
+                cells,
+                (counters.feasibility_calls, counters.optimize_calls, counters.total_constraints),
+                tree.node_count(),
+            )
+        )
+    return results
+
+
+def parallel_cta(
+    dataset: Dataset,
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    workers: int | None = None,
+    space: str = "transformed",
+    finalize_geometry: bool = True,
+    prepared: PreparedQuery | None = None,
+    shard_factor: int = DEFAULT_SHARD_FACTOR,
+) -> KSPRResult:
+    """Answer one kSPR query with CTA, sharded across worker processes.
+
+    Accepts the same arguments as :func:`repro.core.cta.cta` plus ``workers``
+    (``None`` means all available cores) and ``shard_factor`` (shards per
+    worker).  The answer — every region's bounding halfspaces, rank and
+    witness — is identical to the single-process :func:`~repro.core.cta.cta`
+    call; with ``workers=1`` the computation itself degenerates to the
+    serial loop.
+    """
+    workers = resolve_workers(workers)
+    context = prepare_context(
+        dataset, focal, k, algorithm=f"CTA[workers={workers}]", space=space, prepared=prepared
+    )
+    if context.effective_k < 1:
+        return build_result(context, [], None, finalize_geometry)
+
+    context.prime_hyperplanes()
+    hyperplanes = [context.hyperplane_for(int(record_id)) for record_id in context.competitors.ids]
+    tree = context.new_celltree()
+    insertion_start = time.perf_counter()
+
+    # --- seed phase: grow enough independent subtrees to shard over --------
+    target_shards = workers * max(1, shard_factor)
+    seeded = 0
+    exhausted = False
+    while seeded < len(hyperplanes):
+        context.stats.processed_records += 1
+        tree.insert(hyperplanes[seeded])
+        seeded += 1
+        if tree.is_exhausted:
+            exhausted = True
+            break
+        if workers > 1 and _active_leaf_count(tree) >= target_shards:
+            break
+    remaining = [] if exhausted else hyperplanes[seeded:]
+
+    reported: list[ReportedCell] = []
+    extra_nodes = 0
+    if remaining:
+        shards = []
+        for index, leaf in enumerate(tree.iter_active_leaves()):
+            rank_offset = leaf.rank() - 1
+            if rank_offset + 1 > context.effective_k:
+                # Ranks only grow down the tree: nothing under this leaf can
+                # ever be reported, so the shard is skipped outright.
+                continue
+            shards.append(
+                SubtreeShard(
+                    index=index,
+                    prefix=tuple(leaf.path_halfspaces()),
+                    witnesses=tuple(leaf.witnesses),
+                    rank_offset=rank_offset,
+                )
+            )
+        context.stats.processed_records += len(remaining)
+
+        # Round-robin shards into one task per worker; cell order is restored
+        # from the shard indices after the gather.
+        groups = [shards[start::workers] for start in range(workers)]
+        groups = [group for group in groups if group]
+        payloads = [
+            (context.cell_dimensionality, context.effective_k, remaining, group)
+            for group in groups
+        ]
+        if len(payloads) <= 1 or workers == 1:
+            gathered = [_expand_shard_group(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+                gathered = list(pool.map(_expand_shard_group, payloads))
+
+        prefix_by_index = {shard.index: shard.prefix for shard in shards}
+        cells_by_index: dict[int, list] = {}
+        for group_result in gathered:
+            for shard_index, cells, counter_totals, nodes_created in group_result:
+                cells_by_index[shard_index] = cells
+                worker_counters = LPCounters(*counter_totals)
+                context.counters.merge(worker_counters)
+                extra_nodes += nodes_created - 1  # the worker root IS the seed leaf
+        for shard_index in sorted(cells_by_index):
+            prefix = prefix_by_index[shard_index]
+            for local_path, rank, witness in cells_by_index[shard_index]:
+                reported.append(
+                    ReportedCell(halfspaces=prefix + local_path, rank=rank, witness=witness)
+                )
+    else:
+        for leaf in tree.iter_active_leaves():
+            rank = leaf.rank()
+            if rank <= context.effective_k:
+                view = tree.view(leaf)
+                reported.append(
+                    ReportedCell(
+                        halfspaces=view.bounding_halfspaces,
+                        rank=rank,
+                        witness=view.witness,
+                    )
+                )
+
+    context.stats.add_phase("insertion", time.perf_counter() - insertion_start)
+    context.stats.celltree_nodes = tree.node_count() + extra_nodes
+    context.stats.space_bytes = tree.memory_bytes() + context.tree.memory_bytes()
+    return build_result(context, reported, None, finalize_geometry)

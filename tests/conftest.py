@@ -34,30 +34,11 @@ def small_tree(small_ind_dataset: Dataset) -> AggregateRTree:
     return AggregateRTree(small_ind_dataset, fanout=8)
 
 
-def assert_results_identical(actual, expected) -> None:
-    """Structural equality of two KSPR results: regions, ranks, geometry labels.
-
-    Used by the engine tests to check that cached / prepared-state answers
-    are byte-identical to cold recomputations: same number of regions, same
-    ranks, the same bounding halfspaces (record ids, signs, coefficients,
-    offsets) in the same order, and matching witnesses.
-    """
-    assert len(actual) == len(expected)
-    assert actual.k == expected.k
-    assert np.allclose(actual.focal, expected.focal)
-    for region_a, region_b in zip(actual.regions, expected.regions):
-        assert region_a.rank == region_b.rank
-        assert region_a.dimensionality == region_b.dimensionality
-        assert len(region_a.halfspaces) == len(region_b.halfspaces)
-        for half_a, half_b in zip(region_a.halfspaces, region_b.halfspaces):
-            assert half_a.record_id == half_b.record_id
-            assert half_a.sign == half_b.sign
-            assert np.array_equal(half_a.hyperplane.coefficients, half_b.hyperplane.coefficients)
-            assert half_a.hyperplane.offset == half_b.hyperplane.offset
-        if region_a.witness is None or region_b.witness is None:
-            assert region_a.witness is None and region_b.witness is None
-        else:
-            assert np.allclose(region_a.witness, region_b.witness)
+#: Structural equality of two KSPR results: regions, ranks, geometry labels.
+#: The canonical implementation lives in :mod:`repro.parallel.compare` (it is
+#: the merge-verification oracle of the parallel subsystem); the test-suite
+#: reuses it for cached / prepared-state / sharded answers alike.
+from repro.parallel.compare import assert_results_identical  # noqa: E402
 
 
 @pytest.fixture

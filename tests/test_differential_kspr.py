@@ -1,0 +1,158 @@
+"""Differential property-test harness: every algorithm vs the brute-force oracle.
+
+Seeded random instances — varying cardinality, dimensionality, ``k`` and data
+distribution — are answered by all five kSPR algorithms (CTA, P-CTA, LP-CTA
+and the original-space OP-/OLP-CTA variants) *and* the parallel execution
+path, and each answer is checked for region equivalence against the
+brute-force arrangement enumerator:
+
+* **membership equivalence** — sampled weight vectors fall inside the
+  algorithm's regions exactly when they fall inside the brute-force ones
+  (boundary samples are skipped, membership there is undefined);
+* **ground-truth ranks** — at every sampled vector the claimed membership
+  matches the focal record's exact rank (``verify_result``);
+* **volume agreement** — for transformed-space methods the summed region
+  volume matches the brute-force volume;
+* **merge identity** — the subtree-sharded parallel path must be
+  structurally *identical* (not merely equivalent) to serial CTA.
+
+This harness is what makes aggressive refactoring of the hot path safe: any
+change to the geometry kernels, the CellTree or the sharded executor that
+alters an answer trips it immediately.
+
+The tier-1 run covers ~25 seeded cases.  Set ``REPRO_DIFF_SEEDS=<n>`` to
+sweep ``n`` extra seeds per case shape for deeper (slower) local runs::
+
+    REPRO_DIFF_SEEDS=10 PYTHONPATH=src python -m pytest tests/test_differential_kspr.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Dataset, cta, lpcta, pcta, verify_result
+from repro.baselines import brute_force_kspr
+from repro.core.original_space import olp_cta, op_cta
+from repro.data import anticorrelated_dataset, correlated_dataset, independent_dataset
+from repro.geometry.transform import random_weight_vectors
+from repro.parallel import parallel_cta
+from repro.parallel.compare import assert_results_identical
+
+GENERATORS = {
+    "independent": independent_dataset,
+    "correlated": correlated_dataset,
+    "anticorrelated": anticorrelated_dataset,
+}
+
+#: The tier-1 case grid: (cardinality, dimensionality, k, distribution).
+#: Shapes stay small enough for the exponential brute-force oracle.
+CASE_SHAPES = [
+    (8, 2, 1, "independent"),
+    (12, 2, 2, "independent"),
+    (16, 2, 3, "correlated"),
+    (20, 2, 4, "anticorrelated"),
+    (10, 3, 1, "independent"),
+    (12, 3, 2, "correlated"),
+    (14, 3, 2, "anticorrelated"),
+    (16, 3, 3, "independent"),
+    (10, 4, 1, "independent"),
+    (12, 4, 2, "correlated"),
+    (12, 4, 2, "anticorrelated"),
+    (14, 4, 3, "independent"),
+    (18, 3, 4, "independent"),
+]
+
+#: Transformed-space methods whose answers carry exact geometry.
+TRANSFORMED_METHODS = {"cta": cta, "pcta": pcta, "lpcta": lpcta}
+
+#: Original-space (Appendix C) variants: membership-checked, no geometry.
+ORIGINAL_METHODS = {"op_cta": op_cta, "olp_cta": olp_cta}
+
+MEMBERSHIP_SAMPLES = 150
+BOUNDARY_TOLERANCE = 1e-9
+
+
+def _cases() -> list[tuple[int, int, int, str, int]]:
+    """The seeded case list: ~2 seeds per shape in tier-1, more on request."""
+    extra = int(os.environ.get("REPRO_DIFF_SEEDS", "0"))
+    seeds_per_shape = 2 + extra
+    cases = []
+    for shape_index, (n, d, k, distribution) in enumerate(CASE_SHAPES):
+        for round_index in range(seeds_per_shape):
+            seed = 1000 * (shape_index + 1) + round_index
+            cases.append((n, d, k, distribution, seed))
+    # Tier-1: 13 shapes x 2 seeds = 26 cases, matching the harness contract.
+    return cases
+
+
+def _build_case(n: int, d: int, k: int, distribution: str, seed: int):
+    dataset = GENERATORS[distribution](n, d, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    focal_row = int(rng.integers(dataset.cardinality))
+    focal = dataset.values[focal_row] * (1.0 + 0.1 * (rng.random(d) - 0.5))
+    return dataset, focal, rng
+
+
+def _memberships_match(result, baseline, dataset: Dataset, focal: np.ndarray, rng) -> None:
+    """Sampled membership must agree between ``result`` and ``baseline``."""
+    weights = random_weight_vectors(dataset.dimensionality, MEMBERSHIP_SAMPLES, rng)
+    focal = np.asarray(focal, dtype=float)
+    checked = 0
+    for vector in weights:
+        record_scores = dataset.scores(vector)
+        focal_score = float(np.dot(focal, vector))
+        if record_scores.size and np.any(
+            np.abs(record_scores - focal_score) < BOUNDARY_TOLERANCE
+        ):
+            continue  # membership on a cell boundary is undefined
+        assert result.contains_weights(vector) == baseline.contains_weights(vector)
+        checked += 1
+    assert checked > MEMBERSHIP_SAMPLES // 2, "too many boundary samples to be meaningful"
+
+
+@pytest.mark.parametrize(
+    "n,d,k,distribution,seed",
+    _cases(),
+    ids=lambda value: str(value),
+)
+def test_all_methods_region_equivalent_to_brute_force(n, d, k, distribution, seed):
+    dataset, focal, rng = _build_case(n, d, k, distribution, seed)
+    baseline = brute_force_kspr(dataset, focal, k)
+    baseline_volume = baseline.total_volume()
+
+    # The brute-force oracle itself must verify against ground-truth ranks.
+    report = verify_result(baseline, dataset, focal, k, samples=200, rng=seed + 2)
+    assert report.is_consistent, f"brute force inconsistent: {report.mismatches} mismatches"
+
+    for name, method in TRANSFORMED_METHODS.items():
+        result = method(dataset, focal, k)
+        report = verify_result(result, dataset, focal, k, samples=200, rng=seed + 3)
+        assert report.is_consistent, f"{name}: {report.mismatches} rank mismatches"
+        assert result.total_volume() == pytest.approx(baseline_volume, abs=1e-6), name
+        _memberships_match(result, baseline, dataset, focal, rng)
+
+    for name, method in ORIGINAL_METHODS.items():
+        result = method(dataset, focal, k)
+        report = verify_result(result, dataset, focal, k, samples=200, rng=seed + 4)
+        assert report.is_consistent, f"{name}: {report.mismatches} rank mismatches"
+        _memberships_match(result, baseline, dataset, focal, rng)
+
+    # The parallel path must be byte-identical to serial CTA (and therefore
+    # region-equivalent to the brute-force baseline by transitivity).
+    serial = cta(dataset, focal, k)
+    sharded = parallel_cta(dataset, focal, k, workers=2, shard_factor=2)
+    assert_results_identical(sharded, serial)
+
+
+def test_deep_sweep_env_var_extends_the_case_list(monkeypatch):
+    """REPRO_DIFF_SEEDS=<n> adds n seeds per shape on top of the tier-1 two."""
+    monkeypatch.delenv("REPRO_DIFF_SEEDS", raising=False)
+    tier1 = _cases()
+    monkeypatch.setenv("REPRO_DIFF_SEEDS", "3")
+    deep = _cases()
+    assert len(tier1) == 2 * len(CASE_SHAPES)
+    assert len(deep) == 5 * len(CASE_SHAPES)
+    assert set(tier1) <= set(deep)

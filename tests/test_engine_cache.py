@@ -9,6 +9,7 @@ from repro import Dataset, kspr
 from repro.data import independent_dataset
 from repro.engine import Engine, ResultCache
 from repro.engine.cache import CacheEntry, options_key
+from repro.index.skyline import SkybandDelta
 
 
 @pytest.fixture
@@ -186,6 +187,44 @@ class TestPreciseInvalidation:
         naive = kspr(engine.dataset, focal, 2)
         assert abs(cached.total_volume() - naive.total_volume()) < 1e-9
 
+    def test_insert_landing_exactly_on_band_boundary_keeps_entry(self):
+        """A new competitor with *exactly* k dominators sits just outside the
+        k-skyband (pruning keeps counts < k): the cached entry must survive
+        and keep matching a from-scratch answer."""
+        values = np.array(
+            [
+                [0.90, 0.90],
+                [0.80, 0.80],  # two dominators for the record inserted below
+                [0.05, 0.95],
+            ]
+        )
+        engine = Engine(Dataset(values), k_max=4)
+        focal = np.array([0.10, 0.95])
+        cached = engine.query(focal, 2)
+        engine.insert([0.70, 0.60])  # dominated by exactly k=2 records
+        assert engine.query(focal, 2) is cached
+        naive = kspr(engine.dataset, focal, 2)
+        assert abs(cached.total_volume() - naive.total_volume()) < 1e-9
+
+    def test_delete_landing_exactly_on_band_boundary_keeps_entry(self):
+        """Deleting a record with exactly k dominators (just outside the band)
+        must retain the entry — no survivor can cross into the band."""
+        values = np.array(
+            [
+                [0.90, 0.90],
+                [0.80, 0.80],
+                [0.70, 0.60],  # exactly 2 dominators: outside every k<=2 band
+                [0.05, 0.95],
+            ]
+        )
+        engine = Engine(Dataset(values), k_max=4)
+        focal = np.array([0.10, 0.95])
+        cached = engine.query(focal, 2)
+        engine.delete(2)
+        assert engine.query(focal, 2) is cached
+        naive = kspr(engine.dataset, focal, 2)
+        assert abs(cached.total_volume() - naive.total_volume()) < 1e-9
+
     def test_insert_delete_fingerprint_round_trip_revives_nothing_stale(self, engine):
         focal = np.array([0.25, 0.85])
         cached = engine.query(focal, 2)
@@ -196,3 +235,66 @@ class TestPreciseInvalidation:
         # recomputed cold but must equal the original answer.
         assert refreshed is not cached
         assert abs(refreshed.total_volume() - cached.total_volume()) < 1e-12
+
+
+class TestBoundaryCrossingSafetyNet:
+    """White-box coverage of ``Engine._is_affected`` rule 4's crossing check.
+
+    For an out-of-band update the rule hunts for *other* competitors whose
+    dominator count crossed the k-skyband boundary.  Dominance transitivity
+    makes an organic crossing provably impossible (see the engine module
+    docstring), so the branch is exercised directly with synthetic
+    :class:`~repro.index.skyline.SkybandDelta` objects — it is the safety net
+    that keeps cached answers sound should that invariant ever be violated.
+    """
+
+    K = 2
+
+    @pytest.fixture
+    def engine(self) -> Engine:
+        values = np.array(
+            [
+                [0.90, 0.80],  # id 0: competitor of the focal record below
+                [0.10, 0.05],  # id 1: dominated by the focal record
+                [0.95, 0.97],  # id 2: dominates the focal record
+            ]
+        )
+        return Engine(Dataset(values), k_max=4)
+
+    #: An out-of-band competitor update: neither comparable to the focal
+    #: record below, with >= k dominators (rule 4 territory).
+    FOCAL = np.array([0.20, 0.90])
+
+    def _delta(self, engine: Engine, changed_id: int, changed_count: int) -> SkybandDelta:
+        return SkybandDelta(
+            position=engine._skyband.position_of(changed_id),
+            record_id=999,
+            values=np.array([0.30, 0.20]),  # competitor of FOCAL
+            count=self.K,  # exactly at the boundary: out of the k=2 band
+            changed_ids=np.array([changed_id]),
+            changed_counts=np.array([changed_count]),
+        )
+
+    def test_competitor_crossing_on_insert_drops_entry(self, engine):
+        delta = self._delta(engine, changed_id=0, changed_count=self.K)
+        assert engine._is_affected(self.FOCAL, self.K, True, delta, inserted=True)
+
+    def test_competitor_crossing_on_delete_drops_entry(self, engine):
+        delta = self._delta(engine, changed_id=0, changed_count=self.K - 1)
+        assert engine._is_affected(self.FOCAL, self.K, True, delta, inserted=False)
+
+    def test_crossing_by_focal_dominated_record_is_irrelevant(self, engine):
+        # Record 1 crosses the boundary but is dominated by the focal record:
+        # it can never enter the entry's competitor input.
+        delta = self._delta(engine, changed_id=1, changed_count=self.K)
+        assert not engine._is_affected(self.FOCAL, self.K, True, delta, inserted=True)
+
+    def test_no_crossing_keeps_entry(self, engine):
+        # Count moved, but not across the k boundary.
+        delta = self._delta(engine, changed_id=0, changed_count=self.K + 3)
+        assert not engine._is_affected(self.FOCAL, self.K, True, delta, inserted=True)
+
+    def test_unpruned_entries_never_reach_the_crossing_check(self, engine):
+        delta = self._delta(engine, changed_id=0, changed_count=self.K + 3)
+        # An unpruned entry depends on the full competitor set: always dropped.
+        assert engine._is_affected(self.FOCAL, self.K, False, delta, inserted=True)

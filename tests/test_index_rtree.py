@@ -108,3 +108,105 @@ class TestAggregateRTree:
         tree = AggregateRTree(small_ind_dataset, aggregate=False)
         assert tree.aggregate is False
         assert tree.root.count == small_ind_dataset.cardinality
+
+
+def _assert_condensed_invariants(tree: AggregateRTree, expected_positions: set[int]) -> None:
+    """Invariants a condensed tree must satisfy after deletions.
+
+    Beyond coverage and count/MBR consistency, condensation must never leave
+    an empty node behind: every leaf still holds records and every internal
+    node still has children.
+    """
+    seen: list[int] = []
+    for node in tree.iter_nodes():
+        if node.is_leaf:
+            if node is not tree.root:
+                assert node.count > 0, "condensation left an empty leaf in place"
+            seen.extend(int(p) for p in node.record_positions)
+            if node.count:
+                values = tree.record_values(node.record_positions)
+                assert np.all(values >= node.mbr.low - 1e-12)
+                assert np.all(values <= node.mbr.high + 1e-12)
+        else:
+            assert node.children, "condensation left a childless internal node"
+            assert node.count == sum(child.count for child in node.children)
+            for child in node.children:
+                assert np.all(child.mbr.low >= node.mbr.low - 1e-12)
+                assert np.all(child.mbr.high <= node.mbr.high + 1e-12)
+    assert sorted(seen) == sorted(expected_positions)
+    assert tree.root.count == len(expected_positions)
+
+
+class TestDeleteCondensation:
+    """delete_position underflow handling: leaf / internal condensation, root collapse."""
+
+    def test_leaf_underflow_discards_empty_leaf(self):
+        dataset = independent_dataset(40, 2, seed=61)
+        tree = AggregateRTree(dataset, fanout=4)
+        # Empty out one specific leaf completely.
+        victim_leaf = next(node for node in tree.iter_nodes() if node.is_leaf)
+        victims = [int(p) for p in victim_leaf.record_positions]
+        nodes_before = tree.node_count()
+        for position in victims:
+            tree.delete_position(position)
+        assert tree.node_count() < nodes_before, "empty leaf should be condensed away"
+        _assert_condensed_invariants(tree, set(range(40)) - set(victims))
+
+    def test_internal_underflow_condenses_recursively(self):
+        dataset = independent_dataset(64, 2, seed=62)
+        tree = AggregateRTree(dataset, fanout=2)  # deep tree: many internal levels
+        assert tree.height >= 4
+        # Empty an entire internal subtree record by record.
+        internal = next(
+            node for node in tree.iter_nodes() if not node.is_leaf and node is not tree.root
+        )
+        victims = [int(p) for p in tree.records_under(internal)]
+        for position in victims:
+            tree.delete_position(position)
+        # The emptied subtree is gone: no node anywhere is empty.
+        _assert_condensed_invariants(tree, set(range(64)) - set(victims))
+
+    def test_root_collapse_shrinks_height(self):
+        dataset = independent_dataset(60, 3, seed=63)
+        tree = AggregateRTree(dataset, fanout=4)
+        initial_height = tree.height
+        assert initial_height >= 3
+        # Delete everything but one record: every sibling subtree empties, so
+        # repeated single-child root collapses must flatten the tree to the
+        # one leaf still holding a record.
+        for position in range(59):
+            tree.delete_position(position)
+            if not tree.root.is_leaf:
+                assert len(tree.root.children) > 1, "root kept a single child"
+        assert tree.height == 1
+        assert tree.root.is_leaf
+        _assert_condensed_invariants(tree, {59})
+
+    def test_delete_to_single_record_and_back(self):
+        dataset = independent_dataset(30, 2, seed=64)
+        tree = AggregateRTree(dataset, fanout=3)
+        for position in range(29):
+            tree.delete_position(position)
+        assert tree.root.count == 1
+        _assert_condensed_invariants(tree, {29})
+        # The condensed tree must keep accepting inserts.
+        for position in range(29):
+            tree.insert_position(position)
+        _assert_condensed_invariants(tree, set(range(30)))
+
+    def test_mbr_tightens_after_deleting_extreme_point(self):
+        values = np.vstack([np.random.default_rng(65).random((20, 2)), [[5.0, 5.0]]])
+        tree = AggregateRTree(Dataset(values), fanout=4)
+        assert np.allclose(tree.root.mbr.high, [5.0, 5.0])
+        tree.delete_position(20)
+        assert np.all(tree.root.mbr.high <= 1.0 + 1e-12)
+        _assert_condensed_invariants(tree, set(range(20)))
+
+    def test_delete_missing_positions_raise_keyerror(self):
+        dataset = independent_dataset(12, 2, seed=66)
+        tree = AggregateRTree(dataset, fanout=4)
+        tree.delete_position(7)
+        with pytest.raises(KeyError):
+            tree.delete_position(7)  # already removed
+        with pytest.raises(IndexError):
+            tree.delete_position(99)  # outside the backing dataset entirely
