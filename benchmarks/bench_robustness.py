@@ -1,0 +1,149 @@
+"""Robustness benchmark: degenerate workloads under perturbed tolerance policies.
+
+Measures two things over adversarial datasets (tie-heavy grids, duplicate-heavy
+record sets, near-collinear clouds — the shared generators of
+:mod:`repro.data.degenerate`, the same ones the fuzz harness runs):
+
+* **agreement** — for every case and every :class:`~repro.robust.Tolerance`
+  policy (default, loosened x100, tightened x5), all transformed-space
+  algorithms must agree with the brute-force oracle on sampled membership.
+  The run *asserts* 100% agreement: this is the acceptance bar of the
+  ``repro.robust`` subsystem.
+* **cost** — wall-clock per algorithm per policy, so a tolerance change that
+  silently explodes LP counts (e.g. by killing the witness shortcut) shows
+  up as a timing regression next to the agreement table.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_robustness.py``), with
+``--tiny`` for a seconds-long smoke configuration (used by CI), or through
+pytest (``python -m pytest benchmarks/bench_robustness.py``).  JSON timings
+are archived under ``benchmarks/results/robustness.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Dataset, cta, lpcta, pcta
+from repro.baselines import brute_force_kspr
+from repro.data.degenerate import DEGENERATE_GENERATORS, boundary_skip_margins
+from repro.geometry.transform import random_weight_vectors
+from repro.robust import DEFAULT_TOLERANCE, resolve_tolerance
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-policy perturbations the whole matrix is replayed under.
+POLICIES = {
+    "default": None,
+    "loose_x100": DEFAULT_TOLERANCE.loosened(100.0),
+    "tight_x5": DEFAULT_TOLERANCE.tightened(5.0),
+}
+
+METHODS = {"cta": cta, "pcta": pcta, "lpcta": lpcta}
+
+MEMBERSHIP_SAMPLES = 80
+
+
+def _case_matrix(cases_per_kind: int, seed: int):
+    cases = []
+    for kind_index, kind in enumerate(DEGENERATE_GENERATORS):
+        for round_index in range(cases_per_kind):
+            cases.append((kind, 12, 2, 2, seed + 100 * kind_index + round_index))
+    return cases
+
+
+def _membership_agrees(result, baseline, dataset, focal, policy, rng) -> tuple[int, int]:
+    weights = random_weight_vectors(dataset.dimensionality, MEMBERSHIP_SAMPLES, rng)
+    margins = boundary_skip_margins(dataset, focal, policy)
+    checked = agreed = 0
+    for vector in weights:
+        if np.any(np.abs(dataset.values @ vector - float(focal @ vector)) < margins):
+            continue
+        checked += 1
+        if result.contains_weights(vector) == baseline.contains_weights(vector):
+            agreed += 1
+    return agreed, checked
+
+
+def run_benchmark(*, cases_per_kind: int = 12, seed: int = 4200) -> dict:
+    """Run the agreement + cost matrix once and return the JSON payload."""
+    matrix = _case_matrix(cases_per_kind, seed)
+    payload: dict = {"cases": len(matrix), "policies": {}}
+    for policy_name, policy_value in POLICIES.items():
+        policy = resolve_tolerance(policy_value)
+        timings = {name: 0.0 for name in METHODS}
+        oracle_seconds = 0.0
+        agreed_total = checked_total = 0
+        for kind, n, d, k, case_seed in matrix:
+            rng = np.random.default_rng(case_seed)
+            dataset = Dataset(DEGENERATE_GENERATORS[kind](n, d, rng))
+            focal = dataset.values[int(rng.integers(n))].copy()
+            start = time.perf_counter()
+            baseline = brute_force_kspr(
+                dataset, focal, k, finalize_geometry=False, tolerance=policy
+            )
+            oracle_seconds += time.perf_counter() - start
+            for name, method in METHODS.items():
+                start = time.perf_counter()
+                result = method(dataset, focal, k, finalize_geometry=False, tolerance=policy)
+                timings[name] += time.perf_counter() - start
+                agreed, checked = _membership_agrees(
+                    result, baseline, dataset, focal, policy, rng
+                )
+                agreed_total += agreed
+                checked_total += checked
+        payload["policies"][policy_name] = {
+            "agreed": agreed_total,
+            "checked": checked_total,
+            "agreement": (agreed_total / checked_total) if checked_total else 1.0,
+            "oracle_seconds": oracle_seconds,
+            "method_seconds": timings,
+        }
+    return payload
+
+
+def check_payload(payload: dict) -> None:
+    """The acceptance bar: perfect agreement under every policy."""
+    for policy_name, stats in payload["policies"].items():
+        assert stats["checked"] > 0, f"{policy_name}: no checkable samples"
+        assert stats["agreed"] == stats["checked"], (
+            f"{policy_name}: {stats['checked'] - stats['agreed']} membership "
+            f"disagreements out of {stats['checked']}"
+        )
+
+
+def _archive(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "robustness.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_robustness_agreement_smoke():
+    """Pytest entry: a small matrix must agree perfectly under every policy."""
+    payload = run_benchmark(cases_per_kind=3)
+    check_payload(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true", help="seconds-long smoke run (CI)")
+    parser.add_argument("--cases-per-kind", type=int, default=12)
+    args = parser.parse_args()
+    cases = 3 if args.tiny else args.cases_per_kind
+    payload = run_benchmark(cases_per_kind=cases)
+    _archive(payload)
+    for policy_name, stats in payload["policies"].items():
+        print(
+            f"{policy_name:>12}: {stats['agreed']}/{stats['checked']} agreements, "
+            f"oracle {stats['oracle_seconds']:.2f}s, "
+            + ", ".join(f"{m} {s:.2f}s" for m, s in stats["method_seconds"].items())
+        )
+    check_payload(payload)
+    print("robustness acceptance bar met: 100% agreement under every policy")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,12 @@ from .core import (
 )
 from .engine import Engine, QueryBatch, Workload, generate_workload, replay
 from .parallel import ShardedExecutor, parallel_cta
+from .robust import (
+    DEFAULT_TOLERANCE,
+    DegenerateInputWarning,
+    Tolerance,
+    resolve_tolerance,
+)
 from .exceptions import (
     GeometryError,
     InvalidDatasetError,
@@ -87,6 +93,10 @@ __all__ = [
     "VerificationReport",
     "rank_under_weights",
     "verify_result",
+    "Tolerance",
+    "DEFAULT_TOLERANCE",
+    "resolve_tolerance",
+    "DegenerateInputWarning",
     "ReproError",
     "InvalidDatasetError",
     "InvalidQueryError",

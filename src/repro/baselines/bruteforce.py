@@ -18,6 +18,7 @@ from ..core.base import ReportedCell, build_result, prepare_context
 from ..core.result import KSPRResult
 from ..geometry.arrangement import enumerate_arrangement
 from ..records import Dataset
+from ..robust import Tolerance
 
 __all__ = ["brute_force_kspr"]
 
@@ -28,13 +29,16 @@ def brute_force_kspr(
     k: int,
     max_cells: int | None = 200_000,
     finalize_geometry: bool = True,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """Answer a kSPR query by enumerating the full arrangement.
 
     ``max_cells`` bounds the enumeration (a ``RuntimeError`` is raised beyond
-    it) to protect against accidental use on large inputs.
+    it) to protect against accidental use on large inputs.  ``tolerance`` is
+    the shared numerical policy (so the oracle judges feasibility exactly the
+    way the algorithm under test does).
     """
-    context = prepare_context(dataset, focal, k, algorithm="BruteForce")
+    context = prepare_context(dataset, focal, k, algorithm="BruteForce", tolerance=tolerance)
     if context.effective_k < 1:
         return build_result(context, [], None, finalize_geometry)
 
@@ -49,6 +53,7 @@ def brute_force_kspr(
         context.cell_dimensionality,
         counters=context.counters,
         max_cells=max_cells,
+        tolerance=context.tolerance,
     )
     context.stats.add_phase("enumeration", time.perf_counter() - enumeration_start)
 

@@ -25,6 +25,7 @@ from ..exceptions import InvalidQueryError
 from ..geometry.halfspace import Halfspace, Hyperplane
 from ..geometry.polytope import RegionGeometry
 from ..records import Dataset
+from ..robust import Tolerance, resolve_tolerance
 from ..core.result import KSPRResult, PreferenceRegion, QueryStats
 
 __all__ = ["rtopk_intervals", "monochromatic_reverse_topk"]
@@ -42,11 +43,13 @@ def rtopk_intervals(
     dataset: Dataset,
     focal: np.ndarray | Sequence[float],
     k: int,
+    tolerance: Tolerance | float | None = None,
 ) -> list[tuple[float, float, int]]:
     """Intervals of ``a`` (weight of the first attribute) where ``p`` is top-k.
 
     Returns ``(a_low, a_high, worst_rank)`` triples with ``worst_rank <= k``.
     """
+    policy = resolve_tolerance(tolerance)
     focal = np.asarray(focal, dtype=float)
     if dataset.dimensionality != 2 or focal.shape != (2,):
         raise InvalidQueryError("the monochromatic reverse top-k sweep requires d = 2")
@@ -66,7 +69,7 @@ def rtopk_intervals(
         # Score difference as a function of a: (r1-p1) a + (r2-p2)(1-a).
         slope = (r1 - p1) - (r2 - p2)
         intercept = r2 - p2
-        if abs(slope) < 1e-15:
+        if abs(slope) < policy.norm_floor:
             if intercept > 0:
                 always_above += 1
             continue
@@ -101,7 +104,7 @@ def rtopk_intervals(
     # Merge adjacent intervals (ranks may differ; keep the worst).
     merged: list[tuple[float, float, int]] = []
     for low, high, rank in intervals:
-        if merged and abs(merged[-1][1] - low) < 1e-12:
+        if merged and abs(merged[-1][1] - low) < policy.absolute:
             last_low, _, last_rank = merged[-1]
             merged[-1] = (last_low, high, max(last_rank, rank))
         else:
@@ -113,6 +116,7 @@ def monochromatic_reverse_topk(
     dataset: Dataset,
     focal: np.ndarray | Sequence[float],
     k: int,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """Answer a 2-d kSPR query with the RTOPK sweep, as a :class:`KSPRResult`.
 
@@ -129,7 +133,7 @@ def monochromatic_reverse_topk(
     stats.processed_records = partition.competitors.cardinality
 
     regions = []
-    for low, high, rank in rtopk_intervals(dataset, focal, k):
+    for low, high, rank in rtopk_intervals(dataset, focal, k, tolerance=tolerance):
         midpoint = np.array([(low + high) / 2.0])
         # Express the interval (low, high) as two synthetic halfspaces over the
         # single transformed axis so that membership tests and geometry work

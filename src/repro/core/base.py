@@ -38,6 +38,7 @@ from ..geometry.halfspace import (
 from ..geometry.linprog import LPCounters
 from ..index.rtree import AggregateRTree
 from ..records import Dataset, FocalPartition
+from ..robust import DEFAULT_TOLERANCE, Tolerance, resolve_tolerance
 from .celltree import CellTree
 from .result import KSPRResult, PreferenceRegion, QueryStats
 
@@ -100,6 +101,9 @@ class QueryContext:
     stats: QueryStats
     counters: LPCounters
     space: str = TRANSFORMED_SPACE
+    #: Shared numerical policy for every comparison made while answering the
+    #: query (LP feasibility, side tests, membership, finalisation).
+    tolerance: Tolerance = DEFAULT_TOLERANCE
     started_at: float = field(default_factory=time.perf_counter)
     #: R-tree node accesses already on the (possibly shared) counter when this
     #: query started; per-query I/O is reported as the delta past this mark.
@@ -123,8 +127,13 @@ class QueryContext:
         return self.data_dimensionality
 
     def new_celltree(self) -> CellTree:
-        """A fresh CellTree wired to this query's counters and effective k."""
-        return CellTree(self.cell_dimensionality, self.effective_k, counters=self.counters)
+        """A fresh CellTree wired to this query's counters, tolerance and effective k."""
+        return CellTree(
+            self.cell_dimensionality,
+            self.effective_k,
+            counters=self.counters,
+            tolerance=self.tolerance,
+        )
 
     def hyperplane_for(self, record_id: int) -> Hyperplane:
         """The (cached) hyperplane ``S(record) = S(focal)`` for a competitor."""
@@ -179,12 +188,15 @@ def prepare_context(
     space: str = TRANSFORMED_SPACE,
     fanout: int = 32,
     prepared: PreparedQuery | None = None,
+    tolerance: Tolerance | float | None = None,
 ) -> QueryContext:
     """Validate inputs and assemble the shared query state.
 
     When ``prepared`` is given, the focal partition and competitor R-tree are
     taken from it instead of being recomputed, and ``index_build_seconds`` is
     reported as zero — the build cost was paid once, ahead of time.
+    ``tolerance`` selects the numerical policy every comparison of the query
+    uses (default: :data:`repro.robust.DEFAULT_TOLERANCE`).
     """
     if k < 1:
         raise InvalidQueryError("k must be a positive integer")
@@ -225,6 +237,7 @@ def prepare_context(
         stats=stats,
         counters=counters,
         space=space,
+        tolerance=resolve_tolerance(tolerance),
         io_reads_start=tree.io.node_reads,
     )
     if prepared is not None and prepared.hyperplane_cache is not None:
@@ -252,6 +265,7 @@ def build_result(
             dimensionality=context.cell_dimensionality,
             witness=cell.witness,
             space=context.space,
+            tolerance=context.tolerance,
         )
         for cell in reported
     ]

@@ -32,6 +32,7 @@ import numpy as np
 from ..geometry.halfspace import Halfspace
 from ..geometry.linprog import LPCounters, maximize_linear, minimize_linear
 from ..index.rtree import AggregateRTree, RTreeNode
+from ..robust import Tolerance, resolve_tolerance
 from .cell import CellView
 
 __all__ = [
@@ -125,6 +126,7 @@ class TransformedBoundEvaluator:
         dimensionality: int,
         counters: LPCounters | None = None,
         mode: BoundsMode = BoundsMode.FAST,
+        tolerance: Tolerance | float | None = None,
     ) -> None:
         self.tree = tree
         self.focal = np.asarray(focal, dtype=float)
@@ -132,6 +134,7 @@ class TransformedBoundEvaluator:
         self.dimensionality = dimensionality
         self.counters = counters
         self.mode = mode
+        self.tolerance = resolve_tolerance(tolerance)
         # Fast bounds are only valid for non-negative data (score terms must be
         # monotone in the weights); fall back to group bounds otherwise.
         values = tree.dataset.values
@@ -266,8 +269,8 @@ class TransformedBoundEvaluator:
         # record in part of the cell only.
         state.upper += 1
 
-    @staticmethod
     def _apply_interval(
+        self,
         low: float,
         high: float,
         count: int,
@@ -275,14 +278,24 @@ class TransformedBoundEvaluator:
         focal_high: float,
         state: "_TraversalState",
     ) -> bool:
-        """Apply the three conclusive checks of Algorithm 3; True if conclusive."""
-        if high < focal_low:
+        """Apply the three conclusive checks of Algorithm 3; True if conclusive.
+
+        Conclusive decisions require clearing the tolerance margin in the safe
+        direction: a near-tie never prunes (``lower`` only grows on a strict
+        win) and never skips a contribution to ``upper`` (a near-tie record is
+        still counted as a potential beat), so numerical noise can only make
+        the bounds looser, never wrong.
+        """
+        margin = self.tolerance.margin(
+            max(abs(low), abs(high), abs(focal_low), abs(focal_high), 1.0)
+        )
+        if high < focal_low - margin:
             return True  # never beats the focal record: contributes nothing
-        if low > focal_high:
+        if low > focal_high + margin:
             state.lower += count
             state.upper += count
             return True
-        if focal_low <= low and high <= focal_high:
+        if focal_low - margin <= low and high <= focal_high + margin:
             state.upper += count
             return True
         return False
@@ -303,12 +316,14 @@ class OriginalSpaceBoundEvaluator:
         focal: np.ndarray,
         dimensionality: int,
         counters: LPCounters | None = None,
+        tolerance: Tolerance | float | None = None,
     ) -> None:
         self.tree = tree
         self.focal = np.asarray(focal, dtype=float)
         #: Dimensionality d of the original preference space.
         self.dimensionality = dimensionality
         self.counters = counters
+        self.tolerance = resolve_tolerance(tolerance)
 
     def evaluate(self, cell: CellView, k: int) -> RankBounds:
         """Compute rank bounds for a cone cell of the original space."""
@@ -341,22 +356,26 @@ class OriginalSpaceBoundEvaluator:
                     return
                 values = self.tree.dataset.values[int(position)]
                 low, high = self._difference_interval(values, halfspaces)
-                if low > 0.0:
+                margin = self.tolerance.margin(max(abs(low), abs(high), 1.0))
+                if low > margin:
                     state.lower += 1
                     state.upper += 1
-                elif high > 0.0:
+                elif high > -margin:
+                    # Near-zero maxima still count as potential beats: upper
+                    # may only be overestimated by numerical noise, never
+                    # underestimated.
                     state.upper += 1
             return
         for child in node.children:
             if state.lower > k:
                 return
             corner_low, _ = self._difference_interval(child.mbr.low, halfspaces)
-            if corner_low > 0.0:
+            if corner_low > self.tolerance.margin(max(abs(corner_low), 1.0)):
                 state.lower += child.count
                 state.upper += child.count
                 continue
             _, corner_high = self._difference_interval(child.mbr.high, halfspaces)
-            if corner_high <= 0.0:
+            if corner_high <= -self.tolerance.margin(max(abs(corner_high), 1.0)):
                 continue
             self._visit_node(self.tree.visit(child), halfspaces, state, k)
 

@@ -34,11 +34,8 @@ import numpy as np
 
 from ..geometry.halfspace import Halfspace, Hyperplane
 from ..geometry.linprog import ConstraintStack, LPCounters, solve_feasibility
+from ..robust import Tolerance, resolve_tolerance
 from .cell import CellView
-
-#: Side-test tolerance used by the witness shortcut (matches
-#: :meth:`repro.geometry.halfspace.Halfspace.contains`).
-_SIDE_TOLERANCE = 1e-12
 
 __all__ = ["CellTreeNode", "CellTree", "InsertionStats"]
 
@@ -186,6 +183,7 @@ class CellTree:
         counters: LPCounters | None = None,
         root_constraints: ConstraintStack | None = None,
         root_witnesses: Sequence[np.ndarray] | None = None,
+        tolerance: Tolerance | float | None = None,
     ) -> None:
         """Create an empty tree over the whole preference space.
 
@@ -194,6 +192,10 @@ class CellTree:
         (:mod:`repro.parallel`) uses them to re-root a worker's tree at one
         leaf of a partially expanded tree, so the worker continues exactly
         the computation the single-process run would have performed there.
+
+        ``tolerance`` is the shared numerical policy used for every LP
+        feasibility probe and witness side test of this tree (default:
+        :data:`repro.robust.DEFAULT_TOLERANCE`).
         """
         if dimensionality < 1:
             raise ValueError("transformed preference space needs dimensionality >= 1")
@@ -201,6 +203,7 @@ class CellTree:
             raise ValueError("k must be at least 1")
         self.dimensionality = dimensionality
         self.k = k
+        self.tolerance = resolve_tolerance(tolerance)
         self.counters = counters if counters is not None else LPCounters()
         self.stats = InsertionStats()
         self.root = CellTreeNode(parent=None, edge=None)
@@ -227,7 +230,7 @@ class CellTree:
         When provided, the dominance shortcut of Section 5 is applied.
         """
         self.stats.hyperplanes_inserted += 1
-        if hyperplane.is_degenerate:
+        if self.tolerance.is_negligible_coefficients(hyperplane.coefficients):
             # The score difference is constant over the whole space: the
             # hyperplane covers the root with a single sign.
             self.stats.degenerate_hyperplanes += 1
@@ -271,9 +274,10 @@ class CellTree:
         negative_witness: np.ndarray | None = None
         positive_witness: np.ndarray | None = None
         if node.witnesses:
+            side_margin = self.tolerance.margin(hyperplane.norm)
             values = hyperplane.evaluate_many(np.stack(node.witnesses))
-            negative_hits = np.nonzero(values < -_SIDE_TOLERANCE)[0]
-            positive_hits = np.nonzero(values > _SIDE_TOLERANCE)[0]
+            negative_hits = np.nonzero(values < -side_margin)[0]
+            positive_hits = np.nonzero(values > side_margin)[0]
             if negative_hits.size:
                 negative_witness = node.witnesses[int(negative_hits[0])]
                 self.stats.witness_shortcuts += 1
@@ -284,7 +288,10 @@ class CellTree:
         # Case I: node entirely inside the positive halfspace?
         if negative_witness is None:
             outcome = solve_feasibility(
-                *node.constraints.probe(negative), self.dimensionality, self.counters
+                *node.constraints.probe(negative),
+                self.dimensionality,
+                self.counters,
+                tolerance=self.tolerance,
             )
             if outcome.feasible:
                 negative_witness = outcome.witness
@@ -296,7 +303,10 @@ class CellTree:
         # Case II: node entirely inside the negative halfspace?
         if positive_witness is None:
             outcome = solve_feasibility(
-                *node.constraints.probe(positive), self.dimensionality, self.counters
+                *node.constraints.probe(positive),
+                self.dimensionality,
+                self.counters,
+                tolerance=self.tolerance,
             )
             if outcome.feasible:
                 positive_witness = outcome.witness
@@ -349,11 +359,12 @@ class CellTree:
         if leaf.witnesses:
             # One vectorised sign evaluation distributes every cached witness
             # to the child whose (open) halfspace contains it.
+            side_margin = self.tolerance.margin(negative.hyperplane.norm)
             values = negative.hyperplane.evaluate_many(np.stack(leaf.witnesses))
             for witness, value in zip(leaf.witnesses, values):
-                if value < -_SIDE_TOLERANCE:
+                if value < -side_margin:
                     left.add_witness(witness)
-                elif value > _SIDE_TOLERANCE:
+                elif value > side_margin:
                     right.add_witness(witness)
         leaf.left = left
         leaf.right = right

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..records import Dataset
+from ..robust import Tolerance
 from .base import PreparedQuery, ReportedCell, build_result, prepare_context
 from .result import KSPRResult
 
@@ -32,6 +33,7 @@ def cta(
     space: str = "transformed",
     finalize_geometry: bool = True,
     prepared: PreparedQuery | None = None,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """Answer a kSPR query with the basic Cell Tree Approach.
 
@@ -51,9 +53,12 @@ def cta(
     prepared:
         Optional :class:`~repro.core.base.PreparedQuery` with precomputed
         partition / index state (see :mod:`repro.engine`).
+    tolerance:
+        Shared numerical policy for this query (see :mod:`repro.robust`).
     """
     context = prepare_context(
-        dataset, focal, k, algorithm="CTA", space=space, prepared=prepared
+        dataset, focal, k, algorithm="CTA", space=space, prepared=prepared,
+        tolerance=tolerance,
     )
     if context.effective_k < 1:
         return build_result(context, [], None, finalize_geometry)

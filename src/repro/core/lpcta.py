@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from ..records import Dataset
+from ..robust import Tolerance
 from .base import PreparedQuery, prepare_context
 from .bounds import BoundsMode, TransformedBoundEvaluator
 from .progressive import run_progressive
@@ -32,6 +33,7 @@ def lpcta(
     bounds_mode: BoundsMode | str = BoundsMode.FAST,
     finalize_geometry: bool = True,
     prepared: PreparedQuery | None = None,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """Answer a kSPR query with the Look-ahead Progressive Cell Tree Approach.
 
@@ -48,7 +50,12 @@ def lpcta(
     if isinstance(bounds_mode, str):
         bounds_mode = BoundsMode(bounds_mode)
     context = prepare_context(
-        dataset, focal, k, algorithm=f"LP-CTA[{bounds_mode.value}]", prepared=prepared
+        dataset,
+        focal,
+        k,
+        algorithm=f"LP-CTA[{bounds_mode.value}]",
+        prepared=prepared,
+        tolerance=tolerance,
     )
     if context.effective_k < 1:
         return run_progressive(context, bound_evaluator=None, finalize_geometry=finalize_geometry)
@@ -58,6 +65,7 @@ def lpcta(
         dimensionality=context.cell_dimensionality,
         counters=context.counters,
         mode=bounds_mode,
+        tolerance=context.tolerance,
     )
     return run_progressive(
         context, bound_evaluator=evaluator, finalize_geometry=finalize_geometry

@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from ..records import Dataset
+from ..robust import Tolerance
 from .base import ORIGINAL_SPACE, PreparedQuery, prepare_context
 from .bounds import OriginalSpaceBoundEvaluator
 from .cta import cta
@@ -36,10 +37,12 @@ def op_cta(
     focal: np.ndarray | Sequence[float],
     k: int,
     prepared: PreparedQuery | None = None,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """P-CTA running directly in the original (non-reduced) preference space."""
     context = prepare_context(
-        dataset, focal, k, algorithm="OP-CTA", space=ORIGINAL_SPACE, prepared=prepared
+        dataset, focal, k, algorithm="OP-CTA", space=ORIGINAL_SPACE, prepared=prepared,
+        tolerance=tolerance,
     )
     return run_progressive(context, bound_evaluator=None, finalize_geometry=False)
 
@@ -49,10 +52,12 @@ def olp_cta(
     focal: np.ndarray | Sequence[float],
     k: int,
     prepared: PreparedQuery | None = None,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """LP-CTA running directly in the original (non-reduced) preference space."""
     context = prepare_context(
-        dataset, focal, k, algorithm="OLP-CTA", space=ORIGINAL_SPACE, prepared=prepared
+        dataset, focal, k, algorithm="OLP-CTA", space=ORIGINAL_SPACE, prepared=prepared,
+        tolerance=tolerance,
     )
     if context.effective_k < 1:
         return run_progressive(context, bound_evaluator=None, finalize_geometry=False)
@@ -61,6 +66,7 @@ def olp_cta(
         focal=context.focal,
         dimensionality=context.cell_dimensionality,
         counters=context.counters,
+        tolerance=context.tolerance,
     )
     return run_progressive(context, bound_evaluator=evaluator, finalize_geometry=False)
 
@@ -69,6 +75,9 @@ def o_cta(
     dataset: Dataset,
     focal: np.ndarray | Sequence[float],
     k: int,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """Basic CTA running directly in the original preference space."""
-    return cta(dataset, focal, k, space=ORIGINAL_SPACE, finalize_geometry=False)
+    return cta(
+        dataset, focal, k, space=ORIGINAL_SPACE, finalize_geometry=False, tolerance=tolerance
+    )

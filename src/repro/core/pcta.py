@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..records import Dataset
+from ..robust import Tolerance
 from .base import PreparedQuery, prepare_context
 from .progressive import run_progressive
 from .result import KSPRResult
@@ -32,11 +33,15 @@ def pcta(
     k: int,
     finalize_geometry: bool = True,
     prepared: PreparedQuery | None = None,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """Answer a kSPR query with the Progressive Cell Tree Approach.
 
     ``prepared`` optionally supplies precomputed partition / index state
-    (see :mod:`repro.engine`).
+    (see :mod:`repro.engine`); ``tolerance`` the shared numerical policy
+    (see :mod:`repro.robust`).
     """
-    context = prepare_context(dataset, focal, k, algorithm="P-CTA", prepared=prepared)
+    context = prepare_context(
+        dataset, focal, k, algorithm="P-CTA", prepared=prepared, tolerance=tolerance
+    )
     return run_progressive(context, bound_evaluator=None, finalize_geometry=finalize_geometry)

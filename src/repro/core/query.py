@@ -14,6 +14,7 @@ import numpy as np
 
 from ..exceptions import InvalidQueryError
 from ..records import Dataset
+from ..robust import validate_query_inputs
 from .bounds import BoundsMode
 from .cta import cta
 from .lpcta import lpcta
@@ -70,30 +71,14 @@ def validate_query(dataset: Dataset, focal: np.ndarray, k: int) -> np.ndarray:
     """Validate a (dataset, focal, k) query triple up front.
 
     Raises :class:`~repro.exceptions.InvalidQueryError` for a non-integral or
-    out-of-range ``k`` (``k < 1`` or ``k > n``), a focal record of the wrong
-    shape or dimensionality, or non-finite focal values.  Returns the focal
-    record as a float vector.
+    out-of-range ``k`` (``k < 1`` or ``k > n``), a ``d = 1`` dataset, a focal
+    record of the wrong shape or dimensionality, or non-finite focal values.
+    Returns the focal record as a float vector.  This is a thin alias for
+    :func:`repro.robust.validate_query_inputs`, the canonical validation
+    shared by :func:`kspr`, :class:`repro.engine.Engine` and
+    :class:`repro.parallel.ShardedExecutor`.
     """
-    if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
-        raise InvalidQueryError(f"k must be an integer, got {k!r}")
-    if k < 1:
-        raise InvalidQueryError(f"k must be a positive integer, got {k}")
-    if k > dataset.cardinality:
-        raise InvalidQueryError(
-            f"k={k} exceeds the dataset cardinality n={dataset.cardinality}; "
-            "the focal record would trivially rank in every top-k"
-        )
-    focal_array = np.asarray(focal, dtype=float)
-    if focal_array.ndim != 1:
-        raise InvalidQueryError("the focal record must be a 1-D vector")
-    if focal_array.shape[0] != dataset.dimensionality:
-        raise InvalidQueryError(
-            f"focal record has {focal_array.shape[0]} attributes but the "
-            f"dataset has {dataset.dimensionality}"
-        )
-    if not np.all(np.isfinite(focal_array)):
-        raise InvalidQueryError("focal record values must be finite")
-    return focal_array
+    return validate_query_inputs(dataset, focal, k)
 
 
 def kspr(
@@ -120,7 +105,9 @@ def kspr(
         ``"olp-cta"``.
     options:
         Forwarded to the selected algorithm (e.g. ``bounds_mode="group"`` for
-        LP-CTA, ``finalize_geometry=False`` to skip exact geometry).
+        LP-CTA, ``finalize_geometry=False`` to skip exact geometry,
+        ``tolerance=Tolerance(...)`` to tighten or loosen the numerical
+        policy for this query — see :mod:`repro.robust`).
 
     Returns
     -------

@@ -23,6 +23,7 @@ from ..geometry.halfspace import Halfspace
 from ..geometry.linprog import LPCounters
 from ..geometry.polytope import RegionGeometry, intersect_halfspaces, simplex_volume
 from ..geometry.transform import original_to_transformed
+from ..robust import Tolerance, resolve_tolerance
 
 __all__ = ["PreferenceRegion", "KSPRResult", "QueryStats"]
 
@@ -84,6 +85,7 @@ class PreferenceRegion:
         witness: np.ndarray | None = None,
         geometry: RegionGeometry | None = None,
         space: str = "transformed",
+        tolerance: Tolerance | None = None,
     ) -> None:
         self.halfspaces = tuple(halfspaces)
         #: Rank of the focal record anywhere inside the region (<= k).
@@ -95,6 +97,10 @@ class PreferenceRegion:
         self.geometry = geometry
         #: ``"transformed"`` (default) or ``"original"`` (Appendix C variants).
         self.space = space
+        #: Numerical policy the producing query ran under; used as the default
+        #: for membership tests and finalisation so answers stay consistent
+        #: with the tolerances that shaped them.
+        self.tolerance = tolerance
 
     # ------------------------------------------------------------------ #
     # geometry
@@ -107,6 +113,7 @@ class PreferenceRegion:
                 self.dimensionality,
                 interior_point=self.witness,
                 counters=counters,
+                tolerance=self.tolerance,
             )
         return self.geometry
 
@@ -129,21 +136,31 @@ class PreferenceRegion:
     # ------------------------------------------------------------------ #
     # membership
     # ------------------------------------------------------------------ #
-    def contains_transformed(self, point: np.ndarray, tolerance: float = 1e-12) -> bool:
+    def contains_transformed(
+        self, point: np.ndarray, tolerance: Tolerance | float | None = None
+    ) -> bool:
         """Whether a transformed-space point lies strictly inside the region."""
+        policy = resolve_tolerance(tolerance if tolerance is not None else self.tolerance)
         point = np.asarray(point, dtype=float)
-        if np.any(point <= tolerance) or float(np.sum(point)) >= 1.0 - tolerance:
+        # Same scales as is_valid_transformed_point: unit-norm axis rows, a
+        # sqrt(d')-norm simplex-sum row — the two predicates must agree.
+        if np.any(point <= policy.margin(1.0)):
             return False
-        return all(halfspace.contains(point, tolerance) for halfspace in self.halfspaces)
+        if float(np.sum(point)) >= 1.0 - policy.margin(float(np.sqrt(point.shape[0]))):
+            return False
+        return all(halfspace.contains(point, policy) for halfspace in self.halfspaces)
 
-    def contains_weights(self, weights: np.ndarray, tolerance: float = 1e-12) -> bool:
+    def contains_weights(
+        self, weights: np.ndarray, tolerance: Tolerance | float | None = None
+    ) -> bool:
         """Whether a (normalised, original-space) weight vector lies in the region."""
+        policy = resolve_tolerance(tolerance if tolerance is not None else self.tolerance)
         weights = np.asarray(weights, dtype=float)
         if self.space == "original":
-            if np.any(weights <= tolerance):
+            if np.any(weights <= policy.margin(1.0)):
                 return False
-            return all(halfspace.contains(weights, tolerance) for halfspace in self.halfspaces)
-        return self.contains_transformed(original_to_transformed(weights), tolerance)
+            return all(halfspace.contains(weights, policy) for halfspace in self.halfspaces)
+        return self.contains_transformed(original_to_transformed(weights), policy)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..geometry.transform import random_weight_vectors
 from ..records import Dataset, score
+from ..robust import Tolerance, resolve_tolerance
 from .result import KSPRResult
 
 __all__ = ["rank_under_weights", "VerificationReport", "verify_result"]
@@ -63,7 +64,7 @@ def verify_result(
     k: int,
     samples: int = 2000,
     rng: np.random.Generator | int | None = None,
-    boundary_tolerance: float = 1e-9,
+    boundary_tolerance: Tolerance | float | None = None,
 ) -> VerificationReport:
     """Monte-Carlo check that ``result`` answers the kSPR query correctly.
 
@@ -76,20 +77,48 @@ def verify_result(
     samples:
         Number of uniformly-sampled weight vectors to test.
     boundary_tolerance:
-        Samples for which some record's score is within this tolerance of the
-        focal record's score are skipped (boundary cases).
+        Numerical policy (or legacy flat threshold) deciding when a sample is
+        *on* a cell boundary and must be skipped: a sample is boundary-skipped
+        when some record's score is within ``margin(||r - p||)`` of the focal
+        record's score.  Defaults to the shared library policy.
     """
+    policy = resolve_tolerance(boundary_tolerance)
     focal = np.asarray(focal, dtype=float)
     weights = random_weight_vectors(dataset.dimensionality, samples, rng)
     report = VerificationReport(samples=samples, checked=0, skipped_boundary=0)
 
+    # Scale-aware boundary bands: the score difference of record r against the
+    # focal record is the linear form (r - p) . w, so its natural comparison
+    # scale is ||r - p||.  The band is floored at the degeneracy threshold —
+    # a record whose hyperplane the library treats as (near-)degenerate has
+    # its sign decided globally, so per-sample score differences inside that
+    # band are not meaningful.  Records *identical* to the focal record are
+    # structural ties with defined behaviour (treated as dominated: they
+    # never out-rank it), so they never force a skip.
+    if dataset.cardinality:
+        differences = dataset.values - focal[None, :]
+        equal_rows = np.all(differences == 0.0, axis=1)
+        boundary_margins = np.maximum(
+            policy.margins(np.linalg.norm(differences, axis=1)), policy.degenerate
+        )
+        boundary_margins[equal_rows] = -1.0
+    else:
+        equal_rows = np.zeros(0, dtype=bool)
+        boundary_margins = np.zeros(0)
+
     for vector in weights:
         focal_score = score(focal, vector)
         record_scores = dataset.scores(vector)
-        if record_scores.size and np.any(np.abs(record_scores - focal_score) < boundary_tolerance):
+        if record_scores.size and np.any(
+            np.abs(record_scores - focal_score) < boundary_margins
+        ):
             report.skipped_boundary += 1
             continue
-        expected = (int(np.sum(record_scores > focal_score)) + 1) <= k
+        # Structural ties (records bitwise-equal to the focal) never beat it:
+        # their true score difference is exactly zero, and whatever 1-ulp
+        # residue different summation orders leave must not count as a win.
+        beating = (record_scores > focal_score) & ~equal_rows
+        expected = (int(np.sum(beating)) + 1) <= k
         observed = result.contains_weights(vector)
         report.checked += 1
         if observed and not expected:

@@ -6,8 +6,17 @@
   HOUSE and NBA datasets of the paper (Table 1).
 * :mod:`repro.data.nba` — the two-season NBA generator behind the Figure 9
   case study, with named players and position-dependent stat profiles.
+* :mod:`repro.data.degenerate` — adversarial generators (tie-heavy,
+  duplicate-heavy, near-collinear) for robustness testing.
 """
 
+from .degenerate import (
+    DEGENERATE_GENERATORS,
+    boundary_skip_margins,
+    duplicate_heavy_values,
+    near_collinear_values,
+    tie_heavy_values,
+)
 from .nba import NBASeason, generate_nba_season, howard_case_study
 from .realistic import hotel_surrogate, house_surrogate, nba_surrogate, real_dataset
 from .synthetic import (
@@ -31,4 +40,9 @@ __all__ = [
     "NBASeason",
     "generate_nba_season",
     "howard_case_study",
+    "DEGENERATE_GENERATORS",
+    "tie_heavy_values",
+    "duplicate_heavy_values",
+    "near_collinear_values",
+    "boundary_skip_margins",
 ]

@@ -1,0 +1,105 @@
+"""Adversarial dataset generators for robustness testing.
+
+The serving layer must survive the inputs real traffic brings: duplicate
+records, tied scores, focal records sitting exactly on cell boundaries,
+near-collinear clouds whose hyperplanes have vanishing coefficient norms.
+These generators produce exactly that — they back the fuzz harness
+(``tests/test_robustness_fuzz.py``), the robustness benchmark
+(``benchmarks/bench_robustness.py``) and any deployment that wants to load
+test against worst-case degeneracy.  One implementation serves every
+consumer, so the skip conventions and the generated distributions cannot
+drift apart.
+
+All generators return raw ``(n, d)`` value arrays in ``[0, 1]``; wrap them
+in :class:`~repro.records.Dataset` as needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..robust import DEFAULT_TOLERANCE, Tolerance
+from .synthetic import _rng as _coerce_rng  # shared rng coercion helper
+
+__all__ = [
+    "tie_heavy_values",
+    "duplicate_heavy_values",
+    "near_collinear_values",
+    "DEGENERATE_GENERATORS",
+    "boundary_skip_margins",
+]
+
+
+def tie_heavy_values(
+    n: int, d: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Coarse-grid values: exact score ties and duplicate rows everywhere."""
+    rng = _coerce_rng(rng)
+    levels = np.linspace(0.1, 0.9, 4)
+    return rng.choice(levels, size=(n, d))
+
+
+def duplicate_heavy_values(
+    n: int, d: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Few unique rows repeated many times (coincident hyperplanes)."""
+    rng = _coerce_rng(rng)
+    unique = rng.random((max(2, n // 3), d))
+    return unique[rng.integers(unique.shape[0], size=n)]
+
+
+def near_collinear_values(
+    n: int, d: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Records on a line in attribute space, perturbed by amounts that
+    straddle the degeneracy threshold of the default policy: two decades
+    below it (classified degenerate), one decade above (barely a surface),
+    and four decades above (a clearly separating hyperplane)."""
+    rng = _coerce_rng(rng)
+    base = rng.random(d) * 0.4 + 0.2
+    direction = rng.random(d) - 0.5
+    direction /= np.linalg.norm(direction)
+    offsets = rng.uniform(-0.2, 0.2, size=n)
+    values = base[None, :] + offsets[:, None] * direction[None, :]
+    scales = rng.choice(DEFAULT_TOLERANCE.degenerate * np.array([0.01, 10.0, 10_000.0]), size=n)
+    mask = rng.random(n) < 0.34
+    values = values + mask[:, None] * scales[:, None] * rng.standard_normal((n, d))
+    return np.clip(values, 0.0, 1.0)
+
+
+#: Name -> generator map used by the fuzz harness and the benchmark.
+DEGENERATE_GENERATORS = {
+    "ties": tie_heavy_values,
+    "duplicates": duplicate_heavy_values,
+    "collinear": near_collinear_values,
+}
+
+
+def boundary_skip_margins(
+    dataset, focal: np.ndarray, policy: Tolerance, factor: float = 4.0
+) -> np.ndarray:
+    """Per-record score-difference bands inside which membership sampling skips.
+
+    The shared skip convention of the differential robustness checks: a
+    sample is comparable between two (equivalent) answers only when it clears
+    the side-test band of every *non-degenerate* record hyperplane by the
+    safety ``factor``.  Records whose hyperplane the policy classifies as
+    degenerate (duplicates of the focal, constant-shift records, noise below
+    the threshold) never bound a region, are handled by one global sign on
+    both sides of any comparison, and therefore get a ``-1`` sentinel: they
+    never force a skip.
+    """
+    from ..geometry.halfspace import build_hyperplanes
+
+    focal = np.asarray(focal, dtype=float)
+    hyperplanes = build_hyperplanes(
+        dataset.values, focal, [int(i) for i in range(dataset.cardinality)]
+    )
+    return np.array(
+        [
+            -1.0
+            if policy.is_negligible_coefficients(h.coefficients)
+            else factor * policy.margin(h.norm)
+            for h in hyperplanes
+        ]
+    )

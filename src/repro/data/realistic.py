@@ -24,6 +24,7 @@ import numpy as np
 
 from ..exceptions import InvalidDatasetError
 from ..records import Dataset
+from ..robust import DIVISION_EPSILON
 
 __all__ = ["hotel_surrogate", "house_surrogate", "nba_surrogate", "real_dataset", "REAL_DATASETS"]
 
@@ -56,14 +57,14 @@ def hotel_surrogate(
     stars = rng.integers(1, 6, size=cardinality).astype(float)
     # Price grows with stars; invert and normalise so larger is better.
     raw_price = stars * 40.0 + rng.gamma(2.0, 30.0, size=cardinality)
-    price_value = 1.0 - (raw_price - raw_price.min()) / (np.ptp(raw_price) + 1e-9)
+    price_value = 1.0 - (raw_price - raw_price.min()) / (np.ptp(raw_price) + DIVISION_EPSILON)
     rooms = np.clip(rng.lognormal(3.5, 0.8, size=cardinality), 5, 2000)
     facilities = np.clip(stars * 3.0 + rng.poisson(4.0, size=cardinality), 0, 40).astype(float)
     values = np.column_stack(
         [
             stars / 5.0,
             price_value,
-            (rooms - rooms.min()) / (np.ptp(rooms) + 1e-9),
+            (rooms - rooms.min()) / (np.ptp(rooms) + DIVISION_EPSILON),
             facilities / 40.0,
         ]
     )
@@ -87,7 +88,7 @@ def house_surrogate(
     shares = rng.dirichlet(np.ones(categories) * 5.0, size=cardinality)
     noise = rng.lognormal(0.0, 0.25, size=(cardinality, categories))
     spending = income * shares * noise
-    normalised = spending / (spending.max(axis=0, keepdims=True) + 1e-9)
+    normalised = spending / (spending.max(axis=0, keepdims=True) + DIVISION_EPSILON)
     return Dataset(normalised, name=f"HOUSE(n={cardinality})")
 
 
@@ -119,13 +120,13 @@ def nba_surrogate(
     # Invert the "bad" attributes so larger is better everywhere.
     columns = [
         games / 82.0,
-        rebounds / (rebounds.max() + 1e-9),
-        assists / (assists.max() + 1e-9),
-        steals / (steals.max() + 1e-9),
-        blocks / (blocks.max() + 1e-9),
-        1.0 - turnovers / (turnovers.max() + 1e-9),
-        1.0 - fouls / (fouls.max() + 1e-9),
-        points / (points.max() + 1e-9),
+        rebounds / (rebounds.max() + DIVISION_EPSILON),
+        assists / (assists.max() + DIVISION_EPSILON),
+        steals / (steals.max() + DIVISION_EPSILON),
+        blocks / (blocks.max() + DIVISION_EPSILON),
+        1.0 - turnovers / (turnovers.max() + DIVISION_EPSILON),
+        1.0 - fouls / (fouls.max() + DIVISION_EPSILON),
+        points / (points.max() + DIVISION_EPSILON),
     ]
     return Dataset(np.column_stack(columns), name=f"NBA(n={cardinality})")
 

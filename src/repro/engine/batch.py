@@ -210,6 +210,7 @@ class QueryBatch:
                 fanout=engine.fanout,
                 prune_skyband=engine.prune_skyband,
                 dominator_counts=counts,
+                tolerance=engine.tolerance,
             )
             sub_report = executor.run([outcome.spec for outcome in pending])
             executor_hits = sub_report.cache_hits

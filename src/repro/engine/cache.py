@@ -12,6 +12,8 @@ what makes invalidation precise instead of a blanket flush.
 
 from __future__ import annotations
 
+import enum
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -19,13 +21,54 @@ from typing import Callable
 import numpy as np
 
 from ..core.result import KSPRResult
+from ..robust import Tolerance
 
 __all__ = ["CacheEntry", "ResultCache", "options_key"]
 
 
+def _canonical_value(value) -> tuple | str:
+    """Collision-free, hashable canonical form of one option value.
+
+    ``repr`` is *not* good enough here: ``repr(np.ndarray)`` elides large
+    arrays with ``...`` (so two distinct option arrays can collide on one
+    cache key) and its formatting varies across numpy versions.  Arrays are
+    therefore keyed on their full bytes plus dtype and shape, numeric scalars
+    are normalised (``np.float64(2.0)``, ``2.0`` and ``2`` with equal value
+    but different types never alias a *different* value), and containers
+    recurse.
+    """
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return ("ndarray", str(value.dtype), value.shape, digest)
+    if isinstance(value, (bool, np.bool_)):
+        return ("bool", bool(value))
+    if isinstance(value, (int, np.integer)):
+        return ("int", int(value))
+    if isinstance(value, (float, np.floating)):
+        return ("float", repr(float(value)))
+    if isinstance(value, str):
+        return ("str", value)
+    if value is None:
+        return ("none",)
+    if isinstance(value, Tolerance):
+        return value.as_key()
+    if isinstance(value, enum.Enum):
+        return ("enum", type(value).__name__, value.name)
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_canonical_value(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(map(repr, value))))
+    if isinstance(value, dict):
+        return (
+            "map",
+            tuple(sorted((str(k), _canonical_value(v)) for k, v in value.items())),
+        )
+    return ("repr", type(value).__name__, repr(value))
+
+
 def options_key(options: dict) -> tuple:
-    """Canonical, hashable form of a keyword-options dict."""
-    return tuple(sorted((name, repr(value)) for name, value in options.items()))
+    """Canonical, hashable, collision-free form of a keyword-options dict."""
+    return tuple(sorted((name, _canonical_value(value)) for name, value in options.items()))
 
 
 @dataclass

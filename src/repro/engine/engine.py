@@ -63,6 +63,7 @@ from ..index.rtree import AggregateRTree
 from ..index.skyline import SkybandDelta, SkybandIndex
 from ..index.skyline import skyline as bbs_skyline
 from ..records import Dataset, FocalPartition, dominates
+from ..robust import Tolerance, resolve_tolerance
 from .cache import CacheEntry, ResultCache, options_key
 
 __all__ = ["Engine", "EngineStats"]
@@ -164,6 +165,12 @@ class Engine:
         Disable to make cold queries byte-identical to plain ``kspr()`` calls
         (useful for differential testing); pruning never changes the answer,
         only the per-query work.
+    tolerance:
+        Default numerical policy for every query this engine serves (see
+        :mod:`repro.robust`); ``None`` keeps the library default.  A
+        per-query ``tolerance=`` option overrides it, and the tolerance in
+        effect is part of the result-cache key, so answers computed under
+        different policies never alias.
 
     Notes
     -----
@@ -186,6 +193,7 @@ class Engine:
         result_cache_size: int = 512,
         prepared_cache_size: int = 64,
         prune_skyband: bool = True,
+        tolerance: Tolerance | float | None = None,
     ) -> None:
         if not isinstance(dataset, Dataset):
             dataset = Dataset(np.asarray(dataset, dtype=float))
@@ -197,6 +205,7 @@ class Engine:
         self.k_max = int(k_max)
         self._fanout = int(fanout)
         self._prune = bool(prune_skyband)
+        self._tolerance = None if tolerance is None else resolve_tolerance(tolerance)
         self._name = dataset.name
 
         prepare_start = time.perf_counter()
@@ -251,6 +260,31 @@ class Engine:
         """Whether cold queries run against the k-skyband slice."""
         return self._prune
 
+    @property
+    def tolerance(self) -> Tolerance | None:
+        """Default numerical policy of this engine (None = library default)."""
+        return self._tolerance
+
+    def _effective_options(self, options: dict) -> dict:
+        """Canonical per-query options: engine defaults applied, values resolved.
+
+        The engine-level tolerance is injected when the query did not pass its
+        own; whatever tolerance ends up in effect is resolved to a
+        :class:`~repro.robust.Tolerance` so the cache key is canonical (a
+        float and its equivalent policy never produce two entries).
+        """
+        options = dict(options)
+        if isinstance(options.get("bounds_mode"), str):
+            options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+        if "tolerance" in options:
+            if options["tolerance"] is not None:
+                options["tolerance"] = resolve_tolerance(options["tolerance"])
+            else:
+                del options["tolerance"]
+        if "tolerance" not in options and self._tolerance is not None:
+            options["tolerance"] = self._tolerance
+        return options
+
     def dominator_counts(self) -> np.ndarray:
         """Per-record dominator counts aligned with ``dataset`` rows.
 
@@ -292,9 +326,7 @@ class Engine:
         """
         method_name, _ = resolve_method(method or self._default_method)
         focal_array = np.asarray(focal, dtype=float)
-        options = dict(options or {})
-        if method_name == "lpcta" and isinstance(options.get("bounds_mode"), str):
-            options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+        options = self._effective_options(options or {})
         opts = options_key(options)
         with self._lock:
             if fingerprint is None:
@@ -365,8 +397,7 @@ class Engine:
         with self._lock:
             snapshot = self._snapshot
         focal_array = validate_query(snapshot, focal, k)
-        if method_name == "lpcta" and isinstance(options.get("bounds_mode"), str):
-            options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+        options = self._effective_options(options)
         opts = options_key(options)
         key = (snapshot.fingerprint(), focal_array.tobytes(), int(k), method_name, opts)
 
@@ -439,9 +470,7 @@ class Engine:
         """
         method_name, _ = resolve_method(method or self._default_method)
         focal_array = np.asarray(focal, dtype=float)
-        if method_name == "lpcta" and isinstance(options.get("bounds_mode"), str):
-            options = {**options, "bounds_mode": BoundsMode(options["bounds_mode"])}
-        opts = options_key(options)
+        opts = options_key(self._effective_options(options))
         with self._lock:
             if fingerprint != self._snapshot.fingerprint():
                 return False

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..robust import Tolerance, resolve_tolerance
 from .halfspace import Halfspace, Hyperplane
 from .linprog import LPCounters, cell_feasible
 
@@ -53,6 +54,7 @@ def enumerate_arrangement(
     dimensionality: int,
     counters: LPCounters | None = None,
     max_cells: int | None = None,
+    tolerance: Tolerance | float | None = None,
 ) -> list[ArrangementCell]:
     """Enumerate all full-dimensional cells of the arrangement.
 
@@ -68,13 +70,17 @@ def enumerate_arrangement(
     max_cells:
         Safety valve: raise ``RuntimeError`` if the number of cells exceeds
         this bound (the enumeration is exponential in the worst case).
+    tolerance:
+        Shared numerical policy for feasibility and witness side tests
+        (default: :data:`repro.robust.DEFAULT_TOLERANCE`).
     """
+    policy = resolve_tolerance(tolerance)
     cells: list[tuple[tuple[str, ...], tuple[Halfspace, ...], np.ndarray]] = []
-    start = cell_feasible([], dimensionality, counters=counters)
+    start = cell_feasible([], dimensionality, counters=counters, tolerance=policy)
     cells.append(((), (), start.witness))
 
     for hyperplane in hyperplanes:
-        if hyperplane.is_degenerate:
+        if policy.is_negligible_coefficients(hyperplane.coefficients):
             # A degenerate hyperplane contributes a constant score difference:
             # it covers the whole space with one sign, determined by its offset.
             sign = "+" if hyperplane.offset < 0 else "-"
@@ -89,11 +95,14 @@ def enumerate_arrangement(
                 candidate = Halfspace(hyperplane, sign)
                 # Quick witness check: if the stored witness already satisfies
                 # the new halfspace the extension is certainly feasible.
-                if candidate.contains(witness):
+                if candidate.contains(witness, policy):
                     next_cells.append((signs + (sign,), halfspaces + (candidate,), witness))
                     continue
                 outcome = cell_feasible(
-                    list(halfspaces) + [candidate], dimensionality, counters=counters
+                    list(halfspaces) + [candidate],
+                    dimensionality,
+                    counters=counters,
+                    tolerance=policy,
                 )
                 if outcome.feasible:
                     next_cells.append(

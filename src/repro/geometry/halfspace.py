@@ -14,6 +14,10 @@ in :mod:`repro.core` speaks.
 Halfspaces are represented in "``a . w <= b``" form (closed) with a
 ``strict`` flag; the LP layer adds an interior slack for strict constraints so
 that open cells are handled correctly.
+
+All side tests are scale-aware: the boundary band around a hyperplane is
+``tolerance.margin(norm)`` wide, where ``norm`` is the hyperplane's
+coefficient norm — see :mod:`repro.robust` for the shared policy.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import GeometryError
+from ..robust import Tolerance, resolve_tolerance
 
 __all__ = [
     "Hyperplane",
@@ -57,6 +62,9 @@ class Hyperplane:
             raise GeometryError("hyperplane coefficients must be a vector")
         object.__setattr__(self, "coefficients", coefficients)
         object.__setattr__(self, "offset", float(self.offset))
+        # Cached coefficient norm: the natural comparison scale of every side
+        # test against this hyperplane.
+        object.__setattr__(self, "norm", float(np.linalg.norm(coefficients)))
 
     @property
     def dimensionality(self) -> int:
@@ -70,7 +78,7 @@ class Hyperplane:
         This happens when ``r`` and ``p`` have the same attribute differences in
         every dimension, i.e. ``S(r) - S(p)`` is constant over the whole space.
         """
-        return bool(np.allclose(self.coefficients, 0.0))
+        return resolve_tolerance(None).is_negligible_coefficients(self.coefficients)
 
     def evaluate(self, point: np.ndarray) -> float:
         """Signed value ``coefficients . point - offset`` at ``point``."""
@@ -88,14 +96,18 @@ class Hyperplane:
         """The open halfspace where the inducing record scores below the focal one."""
         return Halfspace(self, NEGATIVE)
 
-    def side_of(self, point: np.ndarray, tolerance: float = 1e-12) -> str:
-        """Which side of the hyperplane ``point`` lies on (``'+'``, ``'-'`` or ``'0'``)."""
-        value = self.evaluate(point)
-        if value > tolerance:
-            return POSITIVE
-        if value < -tolerance:
-            return NEGATIVE
-        return "0"
+    def side_of(self, point: np.ndarray, tolerance: Tolerance | float | None = None) -> str:
+        """Which side of the hyperplane ``point`` lies on (``'+'``, ``'-'`` or ``'0'``).
+
+        The boundary band scales with the hyperplane's coefficient norm
+        (``tolerance.margin(self.norm)``); pass a bare float for a legacy
+        flat threshold.
+        """
+        return resolve_tolerance(tolerance).classify_side(self.evaluate(point), self.norm)
+
+    def side_margin(self, tolerance: Tolerance | float | None = None) -> float:
+        """Half-width of this hyperplane's boundary band under ``tolerance``."""
+        return resolve_tolerance(tolerance).margin(self.norm)
 
 
 @dataclass(frozen=True)
@@ -139,10 +151,14 @@ class Halfspace:
     # ------------------------------------------------------------------ #
     # geometry
     # ------------------------------------------------------------------ #
-    def contains(self, point: np.ndarray, tolerance: float = 1e-12) -> bool:
+    def contains(self, point: np.ndarray, tolerance: Tolerance | float | None = None) -> bool:
         """Whether ``point`` lies strictly inside this (open) halfspace."""
+        policy = resolve_tolerance(tolerance)
         value = self.hyperplane.evaluate(point)
-        return value > tolerance if self.is_positive else value < -tolerance
+        scale = self.hyperplane.norm
+        if self.is_positive:
+            return policy.is_strictly_positive(value, scale)
+        return policy.is_strictly_negative(value, scale)
 
     def as_leq_constraint(self) -> tuple[np.ndarray, float]:
         """Return ``(a, b)`` such that this halfspace is ``a . w <= b`` (closed form).

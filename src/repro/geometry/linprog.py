@@ -35,6 +35,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from ..exceptions import LPSolverError
+from ..robust import Tolerance, resolve_tolerance
 from .halfspace import Halfspace
 
 __all__ = [
@@ -50,9 +51,6 @@ __all__ = [
     "maximize_linear",
     "chebyshev_center",
 ]
-
-#: Minimum interior margin for a cell to be considered non-empty.
-FEASIBILITY_TOLERANCE = 1e-9
 
 #: Upper bound on the slack variable (keeps the LP bounded).
 _SLACK_CAP = 1.0
@@ -216,14 +214,19 @@ def solve_feasibility(
     bounds: np.ndarray,
     dimensionality: int,
     counters: LPCounters | None = None,
-    tolerance: float = FEASIBILITY_TOLERANCE,
+    tolerance: Tolerance | float | None = None,
 ) -> FeasibilityResult:
     """Interior-feasibility LP over a pre-assembled ``A . w <= b`` system.
 
     This is the hot-path entry used by the CellTree (via
     :class:`ConstraintStack`); :func:`cell_feasible` is the halfspace-list
-    convenience wrapper around it.
+    convenience wrapper around it.  The feasibility decision is made by the
+    shared :class:`~repro.robust.Tolerance` policy: the normalized interior
+    margin must exceed ``tolerance.feasible_margin(row norms)``, which
+    guarantees the returned witness passes every constraint's side test
+    strictly (see :mod:`repro.robust.tolerance`).
     """
+    policy = resolve_tolerance(tolerance)
     if counters is not None:
         counters.record("feasibility", matrix.shape[0])
     if matrix.shape[0] == 0:
@@ -231,8 +234,7 @@ def solve_feasibility(
         witness = np.full(dimensionality, 1.0 / (dimensionality + 1.0))
         return FeasibilityResult(True, witness, 1.0)
 
-    norms = np.linalg.norm(matrix, axis=1)
-    norms = np.where(norms < 1e-15, 1.0, norms)
+    norms = policy.safe_norms(np.linalg.norm(matrix, axis=1))
     # Variables: [w_1 .. w_d', t]; maximise t.
     augmented = np.hstack([matrix, norms.reshape(-1, 1)])
     objective = np.zeros(dimensionality + 1)
@@ -250,7 +252,7 @@ def solve_feasibility(
     if not outcome.success:
         raise LPSolverError(f"feasibility LP failed with status {outcome.status}: {outcome.message}")
     margin = float(outcome.x[-1])
-    if margin <= tolerance:
+    if not policy.is_feasible(margin, norms):
         return FeasibilityResult(False, None, margin)
     return FeasibilityResult(True, outcome.x[:-1].copy(), margin)
 
@@ -260,7 +262,7 @@ def cell_feasible(
     dimensionality: int,
     counters: LPCounters | None = None,
     include_space_bounds: bool = True,
-    tolerance: float = FEASIBILITY_TOLERANCE,
+    tolerance: Tolerance | float | None = None,
 ) -> FeasibilityResult:
     """Test whether the open intersection of ``halfspaces`` is non-empty.
 
@@ -345,6 +347,7 @@ def chebyshev_center(
     dimensionality: int,
     counters: LPCounters | None = None,
     include_space_bounds: bool = True,
+    tolerance: Tolerance | float | None = None,
 ) -> FeasibilityResult:
     """Deepest interior point of a cell (maximum-margin point).
 
@@ -357,4 +360,5 @@ def chebyshev_center(
         dimensionality,
         counters=counters,
         include_space_bounds=include_space_bounds,
+        tolerance=tolerance,
     )

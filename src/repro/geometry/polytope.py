@@ -20,6 +20,7 @@ import numpy as np
 from scipy.spatial import ConvexHull, HalfspaceIntersection, QhullError
 
 from ..exceptions import GeometryError
+from ..robust import Tolerance, resolve_tolerance
 from .halfspace import Halfspace
 from .linprog import (
     LPCounters,
@@ -77,15 +78,18 @@ def _constraint_rows(
     return matrix, bounds
 
 
-def _interval_geometry(matrix: np.ndarray, bounds: np.ndarray) -> RegionGeometry:
+def _interval_geometry(
+    matrix: np.ndarray, bounds: np.ndarray, tolerance: Tolerance | float | None = None
+) -> RegionGeometry:
     """Exact geometry when the transformed space is one-dimensional."""
+    policy = resolve_tolerance(tolerance)
     lower, upper = -np.inf, np.inf
     for coefficient, bound in zip(matrix[:, 0], bounds):
-        if coefficient > 0:
+        if policy.is_strictly_positive(coefficient):
             upper = min(upper, bound / coefficient)
-        elif coefficient < 0:
+        elif policy.is_strictly_negative(coefficient):
             lower = max(lower, bound / coefficient)
-        elif bound < 0:
+        elif policy.is_strictly_negative(bound):
             raise GeometryError("infeasible constraint system (0 <= negative)")
     if not np.isfinite(lower) or not np.isfinite(upper) or upper <= lower:
         raise GeometryError("interval region is empty or unbounded")
@@ -100,6 +104,7 @@ def intersect_halfspaces(
     interior_point: np.ndarray | None = None,
     include_space_bounds: bool = True,
     counters: LPCounters | None = None,
+    tolerance: Tolerance | float | None = None,
 ) -> RegionGeometry:
     """Compute the exact geometry of the open cell defined by ``halfspaces``.
 
@@ -124,7 +129,7 @@ def intersect_halfspaces(
     matrix, bounds = _constraint_rows(halfspaces, dimensionality, include_space_bounds)
 
     if dimensionality == 1:
-        return _interval_geometry(matrix, bounds)
+        return _interval_geometry(matrix, bounds, tolerance)
 
     if interior_point is None:
         feasibility = cell_feasible(
@@ -132,6 +137,7 @@ def intersect_halfspaces(
             dimensionality,
             counters=counters,
             include_space_bounds=include_space_bounds,
+            tolerance=tolerance,
         )
         if not feasibility.feasible:
             raise GeometryError("cannot compute geometry of an empty cell")

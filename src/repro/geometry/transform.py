@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import InvalidQueryError
+from ..robust import Tolerance, resolve_tolerance
 
 __all__ = [
     "original_to_transformed",
@@ -56,14 +57,26 @@ def transformed_to_original(point: np.ndarray) -> np.ndarray:
     raise InvalidQueryError("point must be a vector or a matrix of vectors")
 
 
-def is_valid_transformed_point(point: np.ndarray, tolerance: float = 0.0) -> bool:
-    """True if ``point`` lies in the (open) transformed preference space."""
+def is_valid_transformed_point(
+    point: np.ndarray, tolerance: Tolerance | float | None = None
+) -> bool:
+    """True if ``point`` lies in the (open) transformed preference space.
+
+    Uses the shared :class:`~repro.robust.Tolerance` policy (default policy
+    when ``None``), so a boundary witness accepted by the CellTree's
+    feasibility test is never rejected here: the LP guarantees every
+    coordinate (and the simplex sum) clears the boundary by more than the
+    side-test margin.
+    """
     array = np.asarray(point, dtype=float)
     if array.ndim != 1:
         raise InvalidQueryError("point must be a single vector")
-    if np.any(array <= tolerance):
+    policy = resolve_tolerance(tolerance)
+    # The axis constraints have unit-norm rows; the sum constraint's row norm
+    # is sqrt(d').
+    if np.any(array <= policy.margin(1.0)):
         return False
-    return float(np.sum(array)) < 1.0 - tolerance
+    return float(np.sum(array)) < 1.0 - policy.margin(float(np.sqrt(array.shape[0])))
 
 
 def random_weight_vectors(
@@ -85,6 +98,6 @@ def random_weight_vectors(
         rng = np.random.default_rng(rng)
     samples = rng.dirichlet(np.ones(dimensionality), size=count)
     # Guard against exact zeros produced by floating-point underflow.
-    samples = np.clip(samples, 1e-12, None)
+    samples = np.clip(samples, resolve_tolerance(None).absolute, None)
     samples /= samples.sum(axis=1, keepdims=True)
     return samples

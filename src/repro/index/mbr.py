@@ -14,8 +14,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import GeometryError
+from ..robust import DEFAULT_TOLERANCE
 
 __all__ = ["MBR"]
+
+#: Slack for corner-ordering and containment checks: rectangles come from
+#: exact min/max reductions, so only accumulated rounding needs absorbing.
+_CORNER_SLACK = DEFAULT_TOLERANCE.absolute
 
 
 @dataclass(frozen=True)
@@ -30,7 +35,7 @@ class MBR:
         high = np.asarray(self.high, dtype=float)
         if low.shape != high.shape or low.ndim != 1:
             raise GeometryError("MBR corners must be vectors of the same length")
-        if np.any(low > high + 1e-12):
+        if np.any(low > high + _CORNER_SLACK):
             raise GeometryError("MBR low corner must not exceed the high corner")
         object.__setattr__(self, "low", low)
         object.__setattr__(self, "high", high)
@@ -65,7 +70,9 @@ class MBR:
     def contains_point(self, point: np.ndarray) -> bool:
         """Whether ``point`` lies inside the (closed) rectangle."""
         point = np.asarray(point, dtype=float)
-        return bool(np.all(point >= self.low - 1e-12) and np.all(point <= self.high + 1e-12))
+        return bool(
+            np.all(point >= self.low - _CORNER_SLACK) and np.all(point <= self.high + _CORNER_SLACK)
+        )
 
     def dominated_by(self, point: np.ndarray) -> bool:
         """True if ``point`` dominates the *entire* rectangle.

@@ -32,6 +32,7 @@ from ..engine.cache import options_key
 from ..index.dominance import dominated_counts
 from ..index.rtree import AggregateRTree
 from ..records import Dataset, FocalPartition
+from ..robust import Tolerance, resolve_tolerance
 from .shards import plan_focal_shards, resolve_workers
 
 __all__ = ["ShardedExecutor"]
@@ -109,6 +110,10 @@ def _serve(
             focal_array = validate_query(dataset, np.asarray(focal, dtype=float), int(k))
             if method_name == "lpcta" and isinstance(options.get("bounds_mode"), str):
                 options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+            if options.get("tolerance") is not None:
+                options["tolerance"] = resolve_tolerance(options["tolerance"])
+            elif settings.get("tolerance") is not None:
+                options["tolerance"] = settings["tolerance"]
             space = (
                 "original"
                 if method_name in ("op_cta", "olp_cta")
@@ -177,6 +182,11 @@ class ShardedExecutor:
         Optional precomputed per-record dominator counts (aligned with the
         dataset rows) to skip the O(n²) pass, e.g. from a live
         :class:`~repro.index.skyline.SkybandIndex`.
+    tolerance:
+        Default numerical policy applied to every query of the batch (see
+        :mod:`repro.robust`); a per-spec ``tolerance`` option overrides it.
+        Shipped to the workers with the rest of the settings so sharded
+        answers match what the engine computes in-process.
     """
 
     def __init__(
@@ -189,6 +199,7 @@ class ShardedExecutor:
         fanout: int = 32,
         prune_skyband: bool = True,
         dominator_counts: np.ndarray | None = None,
+        tolerance: Tolerance | float | None = None,
     ) -> None:
         if not isinstance(dataset, Dataset):
             dataset = Dataset(np.asarray(dataset, dtype=float))
@@ -199,6 +210,7 @@ class ShardedExecutor:
             "k_max": int(k_max),
             "fanout": int(fanout),
             "prune": bool(prune_skyband),
+            "tolerance": None if tolerance is None else resolve_tolerance(tolerance),
         }
         if prune_skyband:
             counts = (

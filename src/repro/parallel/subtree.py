@@ -36,6 +36,7 @@ from ..core.result import KSPRResult
 from ..geometry.halfspace import Hyperplane
 from ..geometry.linprog import ConstraintStack, LPCounters
 from ..records import Dataset
+from ..robust import Tolerance
 from .shards import SubtreeShard, resolve_workers
 
 __all__ = ["parallel_cta", "DEFAULT_SHARD_FACTOR"]
@@ -50,7 +51,7 @@ def _active_leaf_count(tree: CellTree) -> int:
 
 
 def _expand_shard_group(
-    payload: tuple[int, int, list[Hyperplane], list[SubtreeShard]],
+    payload: tuple[int, int, list[Hyperplane], list[SubtreeShard], Tolerance | None],
 ) -> list[tuple[int, list[tuple[tuple, int, np.ndarray | None]], tuple[int, int, int], int]]:
     """Worker entry point: expand a group of subtree shards to completion.
 
@@ -58,7 +59,7 @@ def _expand_shard_group(
     halfspaces, absolute rank, witness), the LP counter totals and the
     number of CellTree nodes created.
     """
-    dimensionality, k, hyperplanes, shards = payload
+    dimensionality, k, hyperplanes, shards, tolerance = payload
     results = []
     for shard in shards:
         counters = LPCounters()
@@ -72,6 +73,7 @@ def _expand_shard_group(
             counters=counters,
             root_constraints=constraints,
             root_witnesses=shard.witnesses,
+            tolerance=tolerance,
         )
         for hyperplane in hyperplanes:
             tree.insert(hyperplane)
@@ -108,6 +110,7 @@ def parallel_cta(
     finalize_geometry: bool = True,
     prepared: PreparedQuery | None = None,
     shard_factor: int = DEFAULT_SHARD_FACTOR,
+    tolerance: Tolerance | float | None = None,
 ) -> KSPRResult:
     """Answer one kSPR query with CTA, sharded across worker processes.
 
@@ -120,7 +123,13 @@ def parallel_cta(
     """
     workers = resolve_workers(workers)
     context = prepare_context(
-        dataset, focal, k, algorithm=f"CTA[workers={workers}]", space=space, prepared=prepared
+        dataset,
+        focal,
+        k,
+        algorithm=f"CTA[workers={workers}]",
+        space=space,
+        prepared=prepared,
+        tolerance=tolerance,
     )
     if context.effective_k < 1:
         return build_result(context, [], None, finalize_geometry)
@@ -170,7 +179,13 @@ def parallel_cta(
         groups = [shards[start::workers] for start in range(workers)]
         groups = [group for group in groups if group]
         payloads = [
-            (context.cell_dimensionality, context.effective_k, remaining, group)
+            (
+                context.cell_dimensionality,
+                context.effective_k,
+                remaining,
+                group,
+                context.tolerance,
+            )
             for group in groups
         ]
         if len(payloads) <= 1 or workers == 1:

@@ -1,0 +1,172 @@
+"""Canonical input validation and degenerate-input hardening.
+
+The kSPR algorithms are exercised by the serving layer on whatever data the
+traffic brings — duplicate records, tied scores, focal records sitting
+exactly on cell boundaries, extreme dimensionalities.  This module gives
+every entry point (:func:`repro.kspr`, :meth:`repro.engine.Engine.query`,
+:class:`repro.parallel.ShardedExecutor`) one shared validation pass with
+*documented* behaviour instead of confusing downstream failures:
+
+* ``k`` must be a positive integer no larger than the dataset cardinality —
+  anything else raises :class:`~repro.exceptions.InvalidQueryError` up front.
+* The focal record must be a finite 1-D vector matching the dataset
+  dimensionality.
+* ``d = 1`` datasets are rejected: with a single attribute the preference
+  space is a point and a kSPR region is meaningless.
+* ``d >= HIGH_DIMENSION_WARN`` emits a :class:`DegenerateInputWarning` — the
+  arrangement (and hence the answer size) grows exponentially with ``d``;
+  the query still runs.
+* Duplicate records, records equal to the focal record, tied focal scores
+  and negative coordinates are **allowed** and have defined behaviour (see
+  :func:`diagnose_degeneracies` and the README's "Numerical robustness"
+  section): duplicates induce coincident hyperplanes handled by the
+  CellTree's cover sets; records equal to the focal record are treated as
+  dominated (they never out-rank it); exact score ties sit on measure-zero
+  cell boundaries where membership is undefined by convention; negative
+  coordinates only disable the fast-bounds shortcut of LP-CTA.
+* ``k`` equal to the k-skyband size (or to ``n``) is an ordinary query —
+  the pruning layer simply keeps every competitor.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidQueryError
+
+__all__ = [
+    "DegenerateInputWarning",
+    "HIGH_DIMENSION_WARN",
+    "QueryDiagnostics",
+    "validate_query_inputs",
+    "diagnose_degeneracies",
+]
+
+#: Dimensionality at and above which a query warns about exponential cost.
+HIGH_DIMENSION_WARN = 7
+
+
+class DegenerateInputWarning(UserWarning):
+    """Warns about well-defined but hazardous inputs (cost or conditioning)."""
+
+
+def validate_query_inputs(dataset, focal, k: int, *, warn: bool = True) -> np.ndarray:
+    """Validate a ``(dataset, focal, k)`` query triple up front.
+
+    Raises :class:`~repro.exceptions.InvalidQueryError` with a specific
+    message for every malformed input; returns the focal record as a float
+    vector.  With ``warn=True`` (the default) emits a
+    :class:`DegenerateInputWarning` for ``d >= HIGH_DIMENSION_WARN``.
+    """
+    if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
+        raise InvalidQueryError(f"k must be an integer, got {k!r}")
+    if k < 1:
+        raise InvalidQueryError(f"k must be a positive integer, got {k}")
+    if k > dataset.cardinality:
+        raise InvalidQueryError(
+            f"k={k} exceeds the dataset cardinality n={dataset.cardinality}; "
+            "the focal record would trivially rank in every top-k"
+        )
+    if dataset.dimensionality < 2:
+        raise InvalidQueryError(
+            "kSPR requires at least two data attributes: with d=1 the "
+            "preference space is a single point and regions are meaningless"
+        )
+    focal_array = np.asarray(focal, dtype=float)
+    if focal_array.ndim != 1:
+        raise InvalidQueryError("the focal record must be a 1-D vector")
+    if focal_array.shape[0] != dataset.dimensionality:
+        raise InvalidQueryError(
+            f"focal record has {focal_array.shape[0]} attributes but the "
+            f"dataset has {dataset.dimensionality}"
+        )
+    if not np.all(np.isfinite(focal_array)):
+        raise InvalidQueryError("focal record values must be finite (no NaN / inf)")
+    if warn and dataset.dimensionality >= HIGH_DIMENSION_WARN:
+        warnings.warn(
+            f"kSPR over d={dataset.dimensionality} attributes: the preference-space "
+            f"arrangement grows exponentially with d; expect long runtimes and "
+            f"many result regions (documented behaviour, not an error)",
+            DegenerateInputWarning,
+            stacklevel=3,
+        )
+    return focal_array
+
+
+@dataclass(frozen=True)
+class QueryDiagnostics:
+    """Degeneracy census of a query's inputs (all conditions are *allowed*).
+
+    Attributes
+    ----------
+    duplicate_records:
+        Number of records that share their exact attribute vector with an
+        earlier record.  Duplicates induce coincident hyperplanes; the
+        CellTree absorbs repeats into cover sets without splitting twice.
+    focal_duplicates:
+        Records exactly equal to the focal record.  They tie with it for
+        every weight vector and are treated as dominated (rank unaffected).
+    tied_focal_scores:
+        Records whose attribute *sum* ties the focal record's — such records
+        tie with the focal record at the uniform weight vector, a cell
+        boundary where region membership is undefined by convention.
+    negative_coordinates:
+        Whether any coordinate is negative.  Allowed; only disables the
+        monotone fast-bounds shortcut of LP-CTA.
+    high_dimensionality:
+        Whether ``d >= HIGH_DIMENSION_WARN``.
+    k_equals_cardinality:
+        Whether ``k == n`` (every competitor kept; the whole space answers).
+    """
+
+    duplicate_records: int
+    focal_duplicates: int
+    tied_focal_scores: int
+    negative_coordinates: bool
+    high_dimensionality: bool
+    k_equals_cardinality: bool
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when any hardening-relevant condition is present."""
+        return bool(
+            self.duplicate_records
+            or self.focal_duplicates
+            or self.tied_focal_scores
+            or self.negative_coordinates
+            or self.high_dimensionality
+            or self.k_equals_cardinality
+        )
+
+
+def diagnose_degeneracies(dataset, focal, k: int | None = None) -> QueryDiagnostics:
+    """Count the degenerate-input conditions present in a query.
+
+    Purely informational (nothing raises): used by the fuzz harness, the
+    robustness benchmark and any serving deployment that wants to log how
+    adversarial its traffic is.
+    """
+    values = np.asarray(dataset.values, dtype=float)
+    focal_array = np.asarray(focal, dtype=float)
+    unique_rows = np.unique(values, axis=0).shape[0] if values.size else 0
+    duplicate_records = int(values.shape[0] - unique_rows)
+    focal_duplicates = (
+        int(np.sum(np.all(values == focal_array[None, :], axis=1))) if values.size else 0
+    )
+    tied = (
+        int(np.sum(values.sum(axis=1) == float(focal_array.sum()))) - focal_duplicates
+        if values.size
+        else 0
+    )
+    return QueryDiagnostics(
+        duplicate_records=duplicate_records,
+        focal_duplicates=focal_duplicates,
+        tied_focal_scores=max(tied, 0),
+        negative_coordinates=bool(values.size and float(values.min()) < 0.0)
+        or bool(float(focal_array.min(initial=0.0)) < 0.0),
+        high_dimensionality=values.shape[1] >= HIGH_DIMENSION_WARN if values.ndim == 2 else False,
+        k_equals_cardinality=(k is not None and int(k) == values.shape[0]),
+    )

@@ -1,0 +1,229 @@
+"""Adversarial fuzz harness: degenerate datasets, every algorithm vs brute force.
+
+The differential harness (``tests/test_differential_kspr.py``) sweeps
+well-behaved random datasets; this one deliberately generates the inputs that
+break naive numerical code and drives **all five algorithms and the parallel
+path** against the brute-force oracle under **perturbed tolerance policies**:
+
+* ``ties`` — attribute values drawn from a coarse grid, so exact score ties
+  and duplicate rows are everywhere and the focal record is an exact copy of
+  a data record (boundary-sitting focal);
+* ``duplicates`` — a handful of unique rows repeated many times, including
+  exact copies of the focal record (coincident hyperplanes, zero-coefficient
+  degenerate hyperplanes);
+* ``collinear`` — records on a line in attribute space with perturbations
+  down to ``1e-10``, producing near-degenerate hyperplanes with tiny
+  coefficient norms.
+
+Every case is checked under several :class:`~repro.robust.Tolerance`
+policies (default, loosened, tightened): the brute-force oracle must verify
+against ground-truth ranks, every method must be membership-equivalent to
+the oracle, and the subtree-sharded parallel path must be structurally
+identical to serial CTA.  The tier-1 matrix holds 200+ seeded cases; set
+``REPRO_DIFF_SEEDS=<n>`` for deeper sweeps (n extra seeds per shape), as used
+by the weekly CI robustness job::
+
+    REPRO_DIFF_SEEDS=4 PYTHONPATH=src python -m pytest tests/test_robustness_fuzz.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Tolerance, cta, lpcta, pcta, verify_result
+from repro.baselines import brute_force_kspr
+from repro.core.original_space import olp_cta, op_cta
+from repro.geometry.transform import random_weight_vectors
+from repro.parallel import parallel_cta
+from repro.parallel.compare import assert_results_identical
+from repro.robust import DEFAULT_TOLERANCE, diagnose_degeneracies, resolve_tolerance
+
+TRANSFORMED_METHODS = {"cta": cta, "pcta": pcta, "lpcta": lpcta}
+ORIGINAL_METHODS = {"op_cta": op_cta, "olp_cta": olp_cta}
+
+#: Tolerance policies every case is replayed under ("perturbed tolerances").
+POLICIES = {
+    "default": None,
+    "loose": DEFAULT_TOLERANCE.loosened(100.0),
+    "tight": DEFAULT_TOLERANCE.tightened(5.0),
+}
+
+MEMBERSHIP_SAMPLES = 60
+
+
+#: The adversarial generators live in the library (one implementation for the
+#: harness, the benchmark and load-testing deployments alike).
+from repro.data.degenerate import DEGENERATE_GENERATORS, boundary_skip_margins  # noqa: E402
+
+
+def _build_case(kind: str, n: int, d: int, seed: int):
+    rng = np.random.default_rng(seed)
+    values = DEGENERATE_GENERATORS[kind](n, d, rng)
+    dataset = Dataset(values)
+    focal_row = int(rng.integers(n))
+    if kind == "collinear":
+        # Near-duplicate of a record: hyperplane coefficients ~1e-9.
+        focal = values[focal_row] + 1e-9 * rng.standard_normal(d)
+    else:
+        # Exact copy of a record: boundary-sitting focal, duplicate hyperplane
+        # coefficients are exactly zero (degenerate).
+        focal = values[focal_row].copy()
+    return dataset, np.asarray(focal, dtype=float), rng
+
+
+def _cases() -> list[tuple[str, int, int, int, str, int]]:
+    """The seeded case matrix: >= 200 cases in tier-1, more on request."""
+    extra = int(os.environ.get("REPRO_DIFF_SEEDS", "0"))
+    shapes = [
+        ("ties", 12, 2, 1),
+        ("ties", 14, 2, 2),
+        ("ties", 9, 3, 2),
+        ("duplicates", 12, 2, 2),
+        ("duplicates", 15, 2, 3),
+        ("duplicates", 9, 3, 1),
+        ("collinear", 12, 2, 2),
+        ("collinear", 14, 2, 3),
+        ("collinear", 9, 3, 2),
+    ]
+    seeds_per_shape = 8 + extra
+    cases = []
+    for shape_index, (kind, n, d, k) in enumerate(shapes):
+        for round_index in range(seeds_per_shape):
+            seed = 7000 + 100 * shape_index + round_index
+            for policy_name in POLICIES:
+                cases.append((kind, n, d, k, policy_name, seed))
+    # Tier-1: 9 shapes x 8 seeds x 3 policies = 216 seeded degenerate cases.
+    return cases
+
+
+def _memberships_match(result, baseline, dataset, focal, policy, rng) -> int:
+    """Sampled membership must agree between ``result`` and the oracle.
+
+    A sample is skipped only when it falls inside the side-test band of some
+    *non-degenerate* record hyperplane — different (but equivalent) region
+    decompositions may classify such a sample differently.  The skip
+    convention lives in :func:`repro.data.degenerate.boundary_skip_margins`.
+    """
+    weights = random_weight_vectors(dataset.dimensionality, MEMBERSHIP_SAMPLES, rng)
+    margins = boundary_skip_margins(dataset, focal, policy)
+    checked = 0
+    for vector in weights:
+        scores = dataset.values @ vector
+        focal_score = float(focal @ vector)
+        if np.any(np.abs(scores - focal_score) < margins):
+            continue  # boundary membership is undefined by convention
+        assert result.contains_weights(vector) == baseline.contains_weights(vector)
+        checked += 1
+    return checked
+
+
+@pytest.mark.parametrize("kind,n,d,k,policy_name,seed", _cases(), ids=lambda v: str(v))
+def test_degenerate_inputs_all_methods_agree_with_brute_force(
+    kind, n, d, k, policy_name, seed
+):
+    dataset, focal, rng = _build_case(kind, n, d, seed)
+    policy = resolve_tolerance(POLICIES[policy_name])
+
+    # The case really is degenerate (that is the point of this harness).
+    if kind != "collinear":
+        assert diagnose_degeneracies(dataset, focal).is_degenerate
+
+    baseline = brute_force_kspr(dataset, focal, k, finalize_geometry=False, tolerance=policy)
+
+    # Oracle self-check against ground-truth ranks.
+    report = verify_result(
+        baseline, dataset, focal, k, samples=100, rng=seed + 1, boundary_tolerance=policy
+    )
+    assert report.is_consistent, f"brute force inconsistent: {report.mismatches} mismatches"
+
+    for name, method in TRANSFORMED_METHODS.items():
+        result = method(dataset, focal, k, finalize_geometry=False, tolerance=policy)
+        checked = _memberships_match(result, baseline, dataset, focal, policy, rng)
+        assert checked > 0, f"{name}: every sample was boundary-skipped"
+
+    for name, method in ORIGINAL_METHODS.items():
+        result = method(dataset, focal, k, tolerance=policy)
+        checked = _memberships_match(result, baseline, dataset, focal, policy, rng)
+        assert checked > 0, f"{name}: every sample was boundary-skipped"
+
+    # The parallel path: on adversarial data, sliver cells can have LP margins
+    # within solver noise of the feasibility threshold, so the worker's probe
+    # sequence may legitimately resolve a threshold-adjacent cell differently
+    # than the serial run (an equivalent decomposition, e.g. one redundant
+    # bounding halfspace).  The contract here is therefore *answer
+    # equivalence* against the oracle; bitwise merge identity on well-behaved
+    # data stays enforced by tests/test_differential_kspr.py.
+    sharded = parallel_cta(
+        dataset, focal, k, workers=2, shard_factor=2, finalize_geometry=False, tolerance=policy
+    )
+    checked = _memberships_match(sharded, baseline, dataset, focal, policy, rng)
+    assert checked > 0, "parallel_cta: every sample was boundary-skipped"
+    serial = cta(dataset, focal, k, finalize_geometry=False, tolerance=policy)
+    if kind != "collinear":
+        assert_results_identical(sharded, serial)
+
+
+def test_case_matrix_holds_at_least_200_cases():
+    """The acceptance bar: 200+ seeded degenerate cases in the tier-1 matrix."""
+    assert len(_cases()) >= 200
+
+
+def test_deep_sweep_env_var_extends_the_matrix(monkeypatch):
+    monkeypatch.delenv("REPRO_DIFF_SEEDS", raising=False)
+    tier1 = _cases()
+    monkeypatch.setenv("REPRO_DIFF_SEEDS", "2")
+    deep = _cases()
+    assert len(deep) == len(tier1) + 2 * 9 * len(POLICIES)
+    assert set(tier1) <= set(deep)
+
+
+# --------------------------------------------------------------------------- #
+# directed degenerate edge cases (documented behaviour)
+# --------------------------------------------------------------------------- #
+class TestDirectedDegenerateEdges:
+    def test_focal_duplicated_in_dataset(self):
+        """Records equal to the focal record never change the answer's ranks."""
+        rng = np.random.default_rng(31)
+        values = rng.random((10, 3))
+        focal = values[4].copy()
+        with_dupes = Dataset(np.vstack([values, focal[None, :], focal[None, :]]))
+        without = Dataset(values)
+        a = brute_force_kspr(with_dupes, focal, 2, finalize_geometry=False)
+        b = brute_force_kspr(without, focal, 2, finalize_geometry=False)
+        vectors = random_weight_vectors(3, 80, rng)
+        for vector in vectors:
+            assert a.contains_weights(vector) == b.contains_weights(vector)
+
+    def test_all_records_identical_to_focal(self):
+        """A dataset of focal copies: the focal ranks first everywhere."""
+        focal = np.array([0.4, 0.6])
+        dataset = Dataset(np.tile(focal, (5, 1)))
+        result = cta(dataset, focal, 1, finalize_geometry=False)
+        vectors = random_weight_vectors(2, 40, np.random.default_rng(5))
+        assert all(result.contains_weights(v) for v in vectors)
+
+    def test_k_equal_to_skyband_size(self):
+        """k equal to the number of undominated records is an ordinary query."""
+        from repro.index.dominance import dominated_counts
+
+        dataset = Dataset(np.random.default_rng(9).random((12, 2)))
+        counts = dominated_counts(dataset)
+        skyband = int(np.sum(counts < 1))
+        k = max(1, min(skyband, dataset.cardinality))
+        focal = dataset.values[0] * 1.01
+        result = lpcta(dataset, focal, k, finalize_geometry=False)
+        report = verify_result(result, dataset, focal, k, samples=150, rng=10)
+        assert report.is_consistent
+
+    def test_tiny_coefficient_hyperplanes_are_consistently_degenerate(self):
+        """Sub-threshold coefficient norms classify as degenerate everywhere."""
+        from repro.geometry.halfspace import build_hyperplane
+
+        focal = np.array([0.5, 0.5, 0.5])
+        record = focal + DEFAULT_TOLERANCE.degenerate / 10.0
+        hyperplane = build_hyperplane(record, focal)
+        assert hyperplane.is_degenerate
+        assert DEFAULT_TOLERANCE.is_negligible_coefficients(hyperplane.coefficients)
