@@ -32,15 +32,19 @@ and directly as :func:`cta`, :func:`pcta` and :func:`lpcta`.  For serving
 many queries over one dataset, :class:`repro.engine.Engine` amortises the
 per-query preparation (k-skyband, dominance counts, competitor indexes),
 caches results, executes batches concurrently and supports incremental
-record insertion / deletion.  Baselines, workload generators, market-impact
-analysis and the full experiment harness live in the
-:mod:`repro.baselines`, :mod:`repro.data`, :mod:`repro.analysis` and
-:mod:`repro.experiments` subpackages.
+record insertion / deletion.  :func:`stream_kspr` (and
+``Engine.query_stream``) answer a query as an *anytime stream* of partial
+results with provable impact brackets, deadline-aware pausing and lossless
+resume.  Baselines, workload generators, market-impact analysis and the
+full experiment harness live in the :mod:`repro.baselines`,
+:mod:`repro.data`, :mod:`repro.analysis` and :mod:`repro.experiments`
+subpackages.
 """
 
 from .core import (
     BoundsMode,
     KSPRResult,
+    PartialKSPRResult,
     PreferenceRegion,
     QueryStats,
     VerificationReport,
@@ -54,6 +58,7 @@ from .core import (
 )
 from .engine import Engine, QueryBatch, Workload, generate_workload, replay
 from .parallel import ShardedExecutor, parallel_cta
+from .stream import AnytimeQuery, StreamBudget, stream_kspr
 from .robust import (
     DEFAULT_TOLERANCE,
     DegenerateInputWarning,
@@ -81,6 +86,10 @@ __all__ = [
     "replay",
     "ShardedExecutor",
     "parallel_cta",
+    "stream_kspr",
+    "AnytimeQuery",
+    "StreamBudget",
+    "PartialKSPRResult",
     "kspr",
     "cta",
     "pcta",

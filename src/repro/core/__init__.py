@@ -18,7 +18,7 @@ from .lpcta import lpcta
 from .original_space import o_cta, olp_cta, op_cta
 from .pcta import pcta
 from .query import available_methods, kspr
-from .result import KSPRResult, PreferenceRegion, QueryStats
+from .result import FrontierCell, KSPRResult, PartialKSPRResult, PreferenceRegion, QueryStats
 from .verify import VerificationReport, rank_under_weights, verify_result
 
 __all__ = [
@@ -37,6 +37,8 @@ __all__ = [
     "kspr",
     "available_methods",
     "KSPRResult",
+    "PartialKSPRResult",
+    "FrontierCell",
     "PreferenceRegion",
     "QueryStats",
     "VerificationReport",

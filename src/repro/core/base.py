@@ -40,14 +40,17 @@ from ..index.rtree import AggregateRTree
 from ..records import Dataset, FocalPartition
 from ..robust import DEFAULT_TOLERANCE, Tolerance, resolve_tolerance
 from .celltree import CellTree
-from .result import KSPRResult, PreferenceRegion, QueryStats
+from .result import FrontierCell, KSPRResult, PreferenceRegion, QueryStats
 
 __all__ = [
     "QueryContext",
     "ReportedCell",
+    "StreamTick",
     "PreparedQuery",
     "prepare_context",
     "build_result",
+    "build_region",
+    "capture_frontier",
 ]
 
 #: Identifier used for the two preference-space representations.
@@ -62,6 +65,61 @@ class ReportedCell:
     halfspaces: tuple[Halfspace, ...]
     rank: int
     witness: np.ndarray | None
+
+
+@dataclass
+class StreamTick:
+    """One cooperative work unit of a streaming kSPR execution.
+
+    The streaming cores (:func:`repro.core.progressive.progressive_ticks`,
+    :func:`repro.core.cta.cta_ticks` and the parallel shard stream) yield one
+    tick per unit of work — a P-CTA/LP-CTA batch, a CTA insertion chunk, a
+    committed shard group.  The *yield point is the pause point*: a driver
+    that stops pulling suspends the computation with no work lost, and
+    pulling again resumes it exactly where it stopped, so a truncated-then-
+    resumed query is byte-identical to an uninterrupted one.
+    """
+
+    #: Cells certified since the previous tick, in final reporting order.
+    new_cells: list[ReportedCell] = field(default_factory=list)
+    #: Frozen capture of the still-undecided leaves (empty when ``done`` or
+    #: when the producer was asked to skip capture).
+    frontier: tuple[FrontierCell, ...] = ()
+    #: True on the terminal tick: all cells have been emitted.
+    done: bool = False
+    #: Cumulative work units (batches / chunks / commits) including this one.
+    batches: int = 0
+    #: Cumulative records processed so far.
+    processed: int = 0
+    #: The CellTree to charge to the final result's statistics, carried on
+    #: the terminal tick (``None`` for producers that account stats
+    #: themselves, e.g. the parallel shard stream).
+    tree: CellTree | None = None
+
+
+def capture_frontier(tree: CellTree | None, k: int) -> tuple[FrontierCell, ...]:
+    """Freeze the still-undecided cells of ``tree`` (rank within ``k``).
+
+    Active leaves are the only places future answer regions can come from
+    (eliminated subtrees never return, reported cells are already certified),
+    so the capture is a sound covering of everything the query may still
+    report.  Leaves are copied (path halfspaces, rank, witness) because the
+    tree keeps mutating after the snapshot is taken.
+    """
+    if tree is None:
+        return ()
+    cells = []
+    for leaf in tree.iter_active_leaves():
+        rank = leaf.rank()
+        if rank <= k:
+            cells.append(
+                FrontierCell(
+                    halfspaces=tuple(leaf.path_halfspaces()),
+                    rank=rank,
+                    witness=leaf.witness,
+                )
+            )
+    return tuple(cells)
 
 
 @dataclass
@@ -245,6 +303,24 @@ def prepare_context(
     return context
 
 
+def build_region(context: QueryContext, cell: ReportedCell) -> PreferenceRegion:
+    """Lift one reported cell into a :class:`PreferenceRegion`.
+
+    The single place where a cell's local rank is shifted by the dominator
+    count and the query's space/tolerance are attached — shared by
+    :func:`build_result` and the streaming snapshots of
+    :class:`repro.stream.AnytimeQuery` so the two can never drift.
+    """
+    return PreferenceRegion(
+        halfspaces=cell.halfspaces,
+        rank=cell.rank + context.partition.dominators,
+        dimensionality=context.cell_dimensionality,
+        witness=cell.witness,
+        space=context.space,
+        tolerance=context.tolerance,
+    )
+
+
 def build_result(
     context: QueryContext,
     reported: Sequence[ReportedCell],
@@ -258,17 +334,7 @@ def build_result(
         stats.space_bytes = celltree.memory_bytes() + context.tree.memory_bytes()
     stats.index_node_accesses = context.tree.io.node_reads - context.io_reads_start
 
-    regions = [
-        PreferenceRegion(
-            halfspaces=cell.halfspaces,
-            rank=cell.rank + context.partition.dominators,
-            dimensionality=context.cell_dimensionality,
-            witness=cell.witness,
-            space=context.space,
-            tolerance=context.tolerance,
-        )
-        for cell in reported
-    ]
+    regions = [build_region(context, cell) for cell in reported]
     result = KSPRResult(context.focal, context.k, regions, stats)
 
     if finalize_geometry and context.space == TRANSFORMED_SPACE:

@@ -13,17 +13,105 @@ or look-ahead — those are the contributions of P-CTA and LP-CTA.
 
 from __future__ import annotations
 
+import itertools
 import time
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..records import Dataset
 from ..robust import Tolerance
-from .base import PreparedQuery, ReportedCell, build_result, prepare_context
+from .base import (
+    PreparedQuery,
+    QueryContext,
+    ReportedCell,
+    StreamTick,
+    build_result,
+    capture_frontier,
+    prepare_context,
+)
 from .result import KSPRResult
 
-__all__ = ["cta"]
+__all__ = ["cta", "cta_ticks", "DEFAULT_CHUNK_SIZE"]
+
+#: Default number of hyperplane insertions per streaming tick.
+DEFAULT_CHUNK_SIZE = 64
+
+
+def cta_ticks(
+    context: QueryContext,
+    chunk_size: int | None = None,
+    capture: bool = False,
+) -> Iterator[StreamTick]:
+    """The CTA insertion loop as a resumable tick stream.
+
+    CTA has no Lemma-5 early reporting (records arrive in arbitrary order, so
+    no cell's rank is final before the last insertion): every tick but the
+    terminal one carries no certified cells, only progress and — with
+    ``capture=True`` — the frozen frontier whose shrinking volume drives the
+    anytime impact bracket.  The terminal tick emits the full answer.
+
+    Suspending between ticks pauses the query with no work lost; draining the
+    stream reproduces :func:`cta` byte-identically.
+    """
+    if context.effective_k < 1:
+        yield StreamTick(done=True)
+        return
+    chunk = max(1, int(chunk_size)) if chunk_size is not None else DEFAULT_CHUNK_SIZE
+
+    tree = context.new_celltree()
+    chunks = 0
+    processed = 0
+    exhausted = False
+    total = context.competitors.cardinality
+    # Lazy iteration: records past an early tree exhaustion are never
+    # materialised, matching the all-at-once driver.
+    records = iter(context.competitors)
+    # Vectorised hyperplane construction is part of the insertion cost, as
+    # in the all-at-once driver — phase timings stay comparable.
+    phase_start = time.perf_counter()
+    context.prime_hyperplanes()
+    insertion_seconds = time.perf_counter() - phase_start
+    while processed < total and not exhausted:
+        phase_start = time.perf_counter()
+        for record in itertools.islice(records, chunk):
+            context.stats.processed_records += 1
+            processed += 1
+            tree.insert(context.hyperplane_for(record.record_id))
+            if tree.is_exhausted:
+                exhausted = True
+                break
+        insertion_seconds += time.perf_counter() - phase_start
+        chunks += 1
+        if processed < total and not exhausted:
+            yield StreamTick(
+                frontier=capture_frontier(tree, context.effective_k) if capture else (),
+                done=False,
+                batches=chunks,
+                processed=processed,
+                tree=tree,
+            )
+
+    context.stats.add_phase("insertion", insertion_seconds)
+    reported: list[ReportedCell] = []
+    for leaf in tree.iter_active_leaves():
+        rank = leaf.rank()
+        if rank <= context.effective_k:
+            view = tree.view(leaf)
+            reported.append(
+                ReportedCell(
+                    halfspaces=view.bounding_halfspaces,
+                    rank=rank,
+                    witness=view.witness,
+                )
+            )
+    yield StreamTick(
+        new_cells=reported,
+        done=True,
+        batches=chunks,
+        processed=processed,
+        tree=tree,
+    )
 
 
 def cta(
@@ -60,29 +148,11 @@ def cta(
         dataset, focal, k, algorithm="CTA", space=space, prepared=prepared,
         tolerance=tolerance,
     )
-    if context.effective_k < 1:
-        return build_result(context, [], None, finalize_geometry)
-
-    tree = context.new_celltree()
-    insertion_start = time.perf_counter()
-    context.prime_hyperplanes()
-    for record in context.competitors:
-        context.stats.processed_records += 1
-        tree.insert(context.hyperplane_for(record.record_id))
-        if tree.is_exhausted:
-            break
-    context.stats.add_phase("insertion", time.perf_counter() - insertion_start)
-
     reported: list[ReportedCell] = []
-    for leaf in tree.iter_active_leaves():
-        rank = leaf.rank()
-        if rank <= context.effective_k:
-            view = tree.view(leaf)
-            reported.append(
-                ReportedCell(
-                    halfspaces=view.bounding_halfspaces,
-                    rank=rank,
-                    witness=view.witness,
-                )
-            )
+    tree = None
+    # Drain the streaming core in one chunk: identical computation, no ticks.
+    for tick in cta_ticks(context, chunk_size=max(1, context.competitors.cardinality)):
+        reported.extend(tick.new_cells)
+        if tick.tree is not None:
+            tree = tick.tree
     return build_result(context, reported, tree, finalize_geometry)

@@ -16,25 +16,39 @@ never processed before all of its dominators (Invariant 1):
 
 The loop ends when the CellTree has no active leaves left or every competitor
 has been processed (at which point surviving leaves have exact ranks).
+
+The loop is implemented as a *generator*, :func:`progressive_ticks`, yielding
+one :class:`~repro.core.base.StreamTick` per batch with the cells certified by
+that batch (Lemma 5 makes certification final, so they can be acted on long
+before the query ends).  :func:`run_progressive` is the all-at-once driver —
+it drains the generator and builds the complete result — while the anytime
+serving layer (:mod:`repro.stream`) pulls ticks under a deadline/budget and
+resumes the suspended generator on a later call, producing a final answer
+byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Protocol
+from typing import Iterator, Protocol
 
 import numpy as np
 
 from ..index.dominance import DominanceGraph
 from ..index.rtree import AggregateRTree, RTreeNode
 from ..index.skyline import skyline
-from .base import QueryContext, ReportedCell, build_result
+from .base import QueryContext, ReportedCell, StreamTick, build_result, capture_frontier
 from .bounds import RankBounds
 from .cell import CellView
 from .celltree import CellTree
 from .result import KSPRResult
 
-__all__ = ["BoundEvaluator", "run_progressive", "exists_unprocessed_not_dominated"]
+__all__ = [
+    "BoundEvaluator",
+    "run_progressive",
+    "progressive_ticks",
+    "exists_unprocessed_not_dominated",
+]
 
 
 class BoundEvaluator(Protocol):
@@ -86,20 +100,33 @@ def exists_unprocessed_not_dominated(
     return False
 
 
-def run_progressive(
+def progressive_ticks(
     context: QueryContext,
     bound_evaluator: BoundEvaluator | None = None,
-    finalize_geometry: bool = True,
-) -> KSPRResult:
-    """Run the progressive loop shared by P-CTA (no bounds) and LP-CTA (with bounds)."""
+    capture: bool = False,
+) -> Iterator[StreamTick]:
+    """The progressive loop of P-CTA / LP-CTA as a resumable tick stream.
+
+    Yields one :class:`~repro.core.base.StreamTick` per record batch carrying
+    the cells that batch certified (bounds reporting, Lemma 5, or exact ranks
+    once every competitor is processed).  The terminal tick has ``done=True``
+    and carries the CellTree for result statistics.  ``capture=True``
+    additionally freezes the undecided frontier on every non-terminal tick
+    (used for anytime impact brackets; skipped by default because the
+    all-at-once driver has no use for it).
+
+    Suspending the generator between ticks pauses the query with no work
+    lost; the concatenation of all ``new_cells`` across ticks is exactly the
+    reported-cell list of the uninterrupted loop, in the same order.
+    """
     if context.effective_k < 1:
-        return build_result(context, [], None, finalize_geometry)
+        yield StreamTick(done=True)
+        return
 
     k = context.effective_k
     tree = context.new_celltree()
     graph = DominanceGraph(context.competitors)
     processed: set[int] = set()
-    reported: list[ReportedCell] = []
     total_competitors = context.competitors.cardinality
 
     insertion_seconds = 0.0
@@ -110,12 +137,27 @@ def run_progressive(
         # No competitor can ever out-score the focal record: the whole
         # preference space is the answer.
         root_view = tree.view(tree.root)
-        reported.append(ReportedCell(root_view.bounding_halfspaces, 1, root_view.witness))
-        return build_result(context, reported, tree, finalize_geometry)
+        cell = ReportedCell(root_view.bounding_halfspaces, 1, root_view.witness)
+        yield StreamTick(new_cells=[cell], done=True, tree=tree)
+        return
+
+    def finish(new_cells: list[ReportedCell]) -> StreamTick:
+        context.stats.add_phase("insertion", insertion_seconds)
+        if bound_evaluator is not None:
+            context.stats.add_phase("bounds", bounds_seconds)
+        context.stats.add_phase("lookahead", lookahead_seconds)
+        return StreamTick(
+            new_cells=new_cells,
+            done=True,
+            batches=context.stats.batches,
+            processed=len(processed),
+            tree=tree,
+        )
 
     batch = skyline(context.tree)
     while batch:
         context.stats.batches += 1
+        emitted: list[ReportedCell] = []
 
         # --- insert the batch (Invariant 1 holds by construction) ---------
         phase_start = time.perf_counter()
@@ -129,7 +171,8 @@ def run_progressive(
         insertion_seconds += time.perf_counter() - phase_start
 
         if tree.is_exhausted:
-            break
+            yield finish(emitted)
+            return
 
         # --- collect promising leaves, eliminating stale ones --------------
         promising: list[CellView] = []
@@ -156,7 +199,7 @@ def run_progressive(
                     tree.eliminate(view.node)
                     context.stats.cells_pruned_by_bounds += 1
                 elif bounds.upper <= k:
-                    reported.append(
+                    emitted.append(
                         ReportedCell(view.bounding_halfspaces, bounds.upper, view.witness)
                     )
                     tree.report(view.node)
@@ -167,13 +210,15 @@ def run_progressive(
             bounds_seconds += time.perf_counter() - phase_start
 
         if not promising:
-            break
+            yield finish(emitted)
+            return
         if len(processed) >= total_competitors:
             # Every competitor has been processed: surviving leaf ranks are exact.
             for view in promising:
-                reported.append(ReportedCell(view.bounding_halfspaces, view.rank, view.witness))
+                emitted.append(ReportedCell(view.bounding_halfspaces, view.rank, view.witness))
                 tree.report(view.node)
-            break
+            yield finish(emitted)
+            return
 
         # --- Lemma-5 reporting and the non-pivot union ---------------------
         phase_start = time.perf_counter()
@@ -186,7 +231,7 @@ def run_progressive(
                 else np.empty((0, context.data_dimensionality))
             )
             if not exists_unprocessed_not_dominated(context.tree, pivot_values, processed):
-                reported.append(ReportedCell(view.bounding_halfspaces, view.rank, view.witness))
+                emitted.append(ReportedCell(view.bounding_halfspaces, view.rank, view.witness))
                 tree.report(view.node)
                 context.stats.cells_reported_early += 1
             else:
@@ -194,7 +239,8 @@ def run_progressive(
         lookahead_seconds += time.perf_counter() - phase_start
 
         if tree.is_exhausted:
-            break
+            yield finish(emitted)
+            return
 
         # --- choose the next batch (Section 5) -----------------------------
         next_skyline = skyline(context.tree, exclude_ids=non_pivot_union)
@@ -204,8 +250,32 @@ def run_progressive(
             # still holds and progress is guaranteed.
             batch = skyline(context.tree, exclude_ids=processed)
 
-    context.stats.add_phase("insertion", insertion_seconds)
-    if bound_evaluator is not None:
-        context.stats.add_phase("bounds", bounds_seconds)
-    context.stats.add_phase("lookahead", lookahead_seconds)
+        yield StreamTick(
+            new_cells=emitted,
+            frontier=capture_frontier(tree, k) if capture else (),
+            done=False,
+            batches=context.stats.batches,
+            processed=len(processed),
+            tree=tree,
+        )
+
+    yield finish([])
+
+
+def run_progressive(
+    context: QueryContext,
+    bound_evaluator: BoundEvaluator | None = None,
+    finalize_geometry: bool = True,
+) -> KSPRResult:
+    """Run the progressive loop shared by P-CTA (no bounds) and LP-CTA (with bounds).
+
+    Drains :func:`progressive_ticks` to completion — the one-shot driver of
+    the same streaming core the anytime serving layer pulls incrementally.
+    """
+    reported: list[ReportedCell] = []
+    tree: CellTree | None = None
+    for tick in progressive_ticks(context, bound_evaluator):
+        reported.extend(tick.new_cells)
+        if tick.tree is not None:
+            tree = tick.tree
     return build_result(context, reported, tree, finalize_geometry)

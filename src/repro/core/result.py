@@ -8,6 +8,13 @@ volume in the transformed preference space).
 
 :class:`QueryStats` gathers the instrumentation used throughout Section 7:
 processed records, CellTree size, LP calls, index accesses, timing phases.
+
+The anytime serving layer (:mod:`repro.stream`) works with *partial* answers:
+:class:`PartialKSPRResult` is a snapshot taken mid-query, carrying the regions
+certified so far (Lemma 5 guarantees they can never change) plus a frozen
+capture of the undecided frontier (:class:`FrontierCell`), from which provable
+``[lower, upper]`` brackets on :meth:`KSPRResult.impact_probability` are
+computed.
 """
 
 from __future__ import annotations
@@ -25,7 +32,13 @@ from ..geometry.polytope import RegionGeometry, intersect_halfspaces, simplex_vo
 from ..geometry.transform import original_to_transformed
 from ..robust import Tolerance, resolve_tolerance
 
-__all__ = ["PreferenceRegion", "KSPRResult", "QueryStats"]
+__all__ = [
+    "PreferenceRegion",
+    "KSPRResult",
+    "PartialKSPRResult",
+    "FrontierCell",
+    "QueryStats",
+]
 
 
 @dataclass
@@ -72,6 +85,21 @@ class QueryStats:
         is used here.
         """
         return self.index_node_accesses * seconds_per_access
+
+
+def _sum_region_volumes(regions: Iterable["PreferenceRegion"]) -> float:
+    """Summed volume of ``regions``; degenerate (lower-dimensional) regions
+    contribute zero.  The single policy both the final
+    :meth:`KSPRResult.total_volume` and the anytime
+    :meth:`PartialKSPRResult.certified_volume` apply, so the streamed lower
+    bound can never diverge from the exact impact it converges to."""
+    total = 0.0
+    for region in regions:
+        try:
+            total += region.volume
+        except GeometryError:
+            continue
+    return total
 
 
 class PreferenceRegion:
@@ -210,23 +238,20 @@ class KSPRResult:
 
     def total_volume(self) -> float:
         """Summed volume of all result regions (transformed space)."""
-        total = 0.0
-        for region in self.regions:
-            try:
-                total += region.volume
-            except GeometryError:
-                # Degenerate (lower-dimensional) regions contribute zero volume.
-                continue
-        return total
+        return _sum_region_volumes(self.regions)
 
     def impact_probability(self) -> float:
         """Probability that a uniformly random user has the focal record in their top-k.
 
         Equals the summed region volume divided by the volume of the
-        transformed preference space (Section 1).
+        transformed preference space (Section 1).  An empty result means the
+        focal record is never in the top-k, so the probability is exactly
+        ``0.0`` — every caller (including :meth:`summary`) goes through this
+        one code path instead of special-casing emptiness.
         """
-        dimensionality = self.regions[0].dimensionality if self.regions else 1
-        return self.total_volume() / simplex_volume(dimensionality)
+        if not self.regions:
+            return 0.0
+        return self.total_volume() / simplex_volume(self.regions[0].dimensionality)
 
     def finalize_all(self) -> None:
         """Run the finalisation (exact geometry) step on every region."""
@@ -242,9 +267,233 @@ class KSPRResult:
             "regions": float(len(self.regions)),
             "k": float(self.k),
             "volume": self.total_volume(),
-            "impact_probability": self.impact_probability() if self.regions else 0.0,
+            "impact_probability": self.impact_probability(),
             "processed_records": float(self.stats.processed_records),
             "celltree_nodes": float(self.stats.celltree_nodes),
             "lp_calls": float(self.stats.lp.total_calls),
             "response_seconds": self.stats.response_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class FrontierCell:
+    """Frozen capture of one still-undecided CellTree leaf.
+
+    Taken at snapshot time (the leaf itself keeps mutating as the query
+    advances): the bounding halfspaces of the leaf's root path, its current
+    rank and its cached interior witness.  The final answer inside this cell
+    is a *subset* of the cell, which is what makes the frontier a sound upper
+    bound on the remaining impact volume.
+    """
+
+    halfspaces: tuple[Halfspace, ...]
+    rank: int
+    witness: np.ndarray | None
+
+    def volume(self, dimensionality: int, tolerance: Tolerance | None = None) -> float:
+        """Volume of the captured cell (``0.0`` when degenerate)."""
+        try:
+            geometry = intersect_halfspaces(
+                self.halfspaces,
+                dimensionality,
+                interior_point=self.witness,
+                tolerance=tolerance,
+            )
+        except GeometryError:
+            return 0.0
+        return geometry.volume
+
+
+class PartialKSPRResult:
+    """Anytime snapshot of an in-flight kSPR query.
+
+    Produced by the streaming execution seam (:mod:`repro.stream`) after each
+    cooperative work unit (a P-CTA/LP-CTA batch, a CTA insertion chunk, a
+    committed parallel shard group).  It carries
+
+    * ``regions`` — every region certified so far.  Certification is final
+      (Lemma 5 / exact ranks): across successive snapshots of one query the
+      region list only ever *grows by appending*, so any prefix a consumer
+      acted on stays valid verbatim in the final answer;
+    * ``frontier`` — a frozen capture of the still-undecided cells, from
+      which the impact upper bound is computed;
+    * ``done`` — whether the query has finished (``to_result`` is then the
+      complete, exact :class:`KSPRResult`).
+
+    The ``[impact_lower(), impact_upper()]`` bracket is provable and tightens
+    monotonically: the certified volume only grows and the undecided volume
+    only shrinks (cells leave the frontier by being certified, split or
+    eliminated, never by growing).
+    """
+
+    def __init__(
+        self,
+        focal: np.ndarray,
+        k: int,
+        regions: Sequence[PreferenceRegion],
+        stats: QueryStats,
+        *,
+        done: bool,
+        batches: int,
+        frontier: Sequence[FrontierCell] = (),
+        dimensionality: int | None = None,
+        space: str = "transformed",
+        tolerance: Tolerance | None = None,
+        elapsed_seconds: float = 0.0,
+        processed_records: int | None = None,
+    ) -> None:
+        self.focal = np.asarray(focal, dtype=float)
+        self.k = int(k)
+        self.regions = tuple(regions)
+        self.stats = stats
+        self.done = bool(done)
+        #: Cooperative work units (batches / chunks / shard commits) consumed.
+        self.batches = int(batches)
+        self.frontier = tuple(frontier)
+        if dimensionality is None:
+            dimensionality = self.regions[0].dimensionality if self.regions else 1
+        self.dimensionality = int(dimensionality)
+        self.space = space
+        self.tolerance = tolerance
+        #: Wall-clock seconds since the query started when this snapshot was taken.
+        self.elapsed_seconds = float(elapsed_seconds)
+        #: Records processed when this snapshot was taken — frozen here
+        #: because ``stats`` is the *live* query instrumentation and keeps
+        #: mutating as the stream advances past this snapshot.
+        self.processed_records = (
+            int(processed_records) if processed_records is not None
+            else stats.processed_records
+        )
+        self._frontier_volume: float | None = None
+        self._source: KSPRResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self) -> Iterator[PreferenceRegion]:
+        return iter(self.regions)
+
+    def __getitem__(self, index: int) -> PreferenceRegion:
+        return self.regions[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else f"after {self.batches} batches"
+        return (
+            f"PartialKSPRResult({len(self.regions)} regions, "
+            f"{len(self.frontier)} frontier cells, {state})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # impact brackets
+    # ------------------------------------------------------------------ #
+    def certified_volume(self) -> float:
+        """Summed volume of the regions certified so far (transformed space)."""
+        return _sum_region_volumes(self.regions)
+
+    def frontier_volume(self) -> float:
+        """Summed volume of the still-undecided cells (cached after first call)."""
+        if self._frontier_volume is None:
+            self._frontier_volume = sum(
+                cell.volume(self.dimensionality, self.tolerance) for cell in self.frontier
+            )
+        return self._frontier_volume
+
+    def impact_lower(self) -> float:
+        """Provable lower bound on the final ``impact_probability()``.
+
+        The certified regions are a subset of the final answer, so their
+        volume fraction can only be exceeded — never undercut — by the exact
+        impact.  Monotone non-decreasing across snapshots.
+        """
+        if self.space != "transformed":
+            return 0.0
+        return self.certified_volume() / simplex_volume(self.dimensionality)
+
+    def impact_upper(self) -> float:
+        """Provable upper bound on the final ``impact_probability()``.
+
+        The final answer is contained in the certified regions plus the
+        undecided frontier (eliminated cells never return), so the bracket is
+        sound; the frontier only shrinks, so it is monotone non-increasing.
+        The trivial bound ``1.0`` is returned where nothing tighter is
+        provable: original-space (Appendix C) snapshots, where no volume is
+        defined, and in-flight snapshots with no frontier capture (the
+        zero-progress snapshot, or a producer that skipped capture) — an
+        empty frontier only certifies "nothing left undecided" once the
+        query is ``done``.
+        """
+        if self.space != "transformed":
+            return 1.0
+        if not self.done and not self.frontier:
+            return 1.0
+        upper = (
+            self.certified_volume() + self.frontier_volume()
+        ) / simplex_volume(self.dimensionality)
+        return min(1.0, upper)
+
+    def impact_bracket(self) -> tuple[float, float]:
+        """The ``(lower, upper)`` bracket on the final impact probability."""
+        return self.impact_lower(), self.impact_upper()
+
+    # ------------------------------------------------------------------ #
+    # conversion and reporting
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_result(cls, result: KSPRResult, batches: int = 0) -> "PartialKSPRResult":
+        """Wrap a finished :class:`KSPRResult` as a terminal snapshot.
+
+        :meth:`to_result` on the wrapper hands back ``result`` itself, so
+        consumers that drained a stream to completion get the exact same
+        object a non-streaming call (or a cache hit) would return.
+        """
+        space = result.regions[0].space if result.regions else "transformed"
+        tolerance = result.regions[0].tolerance if result.regions else None
+        snapshot = cls(
+            result.focal,
+            result.k,
+            result.regions,
+            result.stats,
+            done=True,
+            batches=batches,
+            frontier=(),
+            dimensionality=result.regions[0].dimensionality if result.regions else None,
+            space=space,
+            tolerance=tolerance,
+            elapsed_seconds=result.stats.response_seconds,
+        )
+        snapshot._source = result
+        return snapshot
+
+    def to_result(self) -> KSPRResult:
+        """The complete :class:`KSPRResult`, only available once ``done``."""
+        if not self.done:
+            raise ValueError(
+                "partial result is not complete; resume the stream to completion first"
+            )
+        if self._source is not None:
+            return self._source
+        return KSPRResult(self.focal, self.k, self.regions, self.stats)
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary mirroring :meth:`KSPRResult.summary`.
+
+        Empty snapshots follow the same explicit semantics as empty full
+        results: zero certified volume and a zero lower bound (the upper
+        bound still reflects the undecided frontier until the query is done).
+        """
+        lower, upper = self.impact_bracket()
+        return {
+            "regions": float(len(self.regions)),
+            "k": float(self.k),
+            "done": float(self.done),
+            "batches": float(self.batches),
+            "frontier_cells": float(len(self.frontier)),
+            "volume": self.certified_volume(),
+            "impact_lower": lower,
+            "impact_upper": upper,
+            "processed_records": float(self.processed_records),
+            "elapsed_seconds": self.elapsed_seconds,
         }

@@ -30,7 +30,7 @@ False
 """
 
 from .batch import BatchReport, QueryBatch, QueryOutcome, QuerySpec, run_batch
-from .cache import CacheEntry, ResultCache, options_key
+from .cache import CacheEntry, PartialEntry, PartialStore, ResultCache, options_key
 from .engine import Engine, EngineStats
 from .workload import Workload, WorkloadQuery, generate_workload, replay, zipf_weights
 
@@ -39,6 +39,8 @@ __all__ = [
     "EngineStats",
     "ResultCache",
     "CacheEntry",
+    "PartialStore",
+    "PartialEntry",
     "options_key",
     "QueryBatch",
     "QuerySpec",

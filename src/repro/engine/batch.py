@@ -9,18 +9,27 @@ hits) across the whole batch.
 The engine's ``query`` method is thread-safe; queries that land on the same
 focal record share one prepared context, and repeated queries are answered
 from the result cache without recomputation.
+
+:meth:`QueryBatch.run_anytime` is the deadline-aware mode: the batch shares
+one wall-clock budget, every query is served through the engine's streaming
+path, and when the budget (or a cancellation flag) cuts the batch short each
+unfinished query returns its :class:`~repro.core.result.PartialKSPRResult`
+snapshot — with the engine checkpointing the paused stream, so re-issuing the
+batch warm-starts instead of recomputing.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..core.result import KSPRResult
+from ..core.result import KSPRResult, PartialKSPRResult
+from ..stream.anytime import StreamBudget
 
 __all__ = ["QuerySpec", "QueryOutcome", "BatchReport", "QueryBatch", "run_batch", "coerce_spec"]
 
@@ -41,18 +50,33 @@ class QuerySpec:
 
 @dataclass
 class QueryOutcome:
-    """Result (or failure) of one batch query, in submission order."""
+    """Result (or failure, or deadline-truncated partial) of one batch query."""
 
     index: int
     spec: QuerySpec
     result: KSPRResult | None = None
     error: Exception | None = None
     seconds: float = 0.0
+    #: Anytime snapshot when the budget ran out before the query finished
+    #: (resumable through the engine's partial-result cache).
+    partial: PartialKSPRResult | None = None
+    #: True when a deadline skipped the query before any work was done.
+    skipped: bool = False
 
     @property
     def ok(self) -> bool:
-        """True when the query completed without raising."""
+        """True when the query did not raise.
+
+        Deadline-skipped and partial outcomes are ``ok`` — they failed
+        nothing — but did not finish; use :attr:`completed` as the success
+        predicate when a full result is what counts.
+        """
         return self.error is None
+
+    @property
+    def completed(self) -> bool:
+        """True when a full (non-partial) result was produced."""
+        return self.error is None and self.result is not None
 
 
 @dataclass
@@ -82,14 +106,42 @@ class BatchReport:
         """Outcomes that raised."""
         return [outcome for outcome in self.outcomes if not outcome.ok]
 
+    @property
+    def failures(self) -> list[QueryOutcome]:
+        """Outcomes that raised (alias of :attr:`errors`)."""
+        return self.errors
+
+    @property
+    def partials(self) -> list[QueryOutcome]:
+        """Outcomes truncated by a deadline/cancellation, carrying a partial result."""
+        return [outcome for outcome in self.outcomes if outcome.partial is not None]
+
+    @property
+    def skipped(self) -> list[QueryOutcome]:
+        """Outcomes a deadline skipped before any work was done."""
+        return [
+            outcome
+            for outcome in self.outcomes
+            if outcome.skipped and outcome.partial is None
+        ]
+
     def summary(self) -> dict[str, float]:
-        """Aggregate statistics across the batch (for logs and benchmarks)."""
-        ok = [outcome for outcome in self.outcomes if outcome.ok]
-        per_query = [outcome.seconds for outcome in ok]
+        """Aggregate statistics across the batch (for logs and benchmarks).
+
+        Per-query timing aggregates cover outcomes that actually ran
+        (completed or partial); deadline-skipped entries contribute no
+        0-second samples to the mean/max.
+        """
+        ran = [
+            outcome for outcome in self.outcomes if outcome.ok and not outcome.skipped
+        ]
+        per_query = [outcome.seconds for outcome in ran]
         results = self.results
         return {
             "queries": float(len(self.outcomes)),
             "failed": float(len(self.errors)),
+            "partial": float(len(self.partials)),
+            "skipped": float(len(self.skipped)),
             "wall_seconds": self.wall_seconds,
             "query_seconds_total": float(sum(per_query)),
             "query_seconds_max": float(max(per_query)) if per_query else 0.0,
@@ -247,6 +299,79 @@ class QueryBatch:
             outcome.error = error
         outcome.seconds = time.perf_counter() - start
         return outcome
+
+    # ------------------------------------------------------------------ #
+    # anytime (deadline-aware) execution
+    # ------------------------------------------------------------------ #
+    def run_anytime(
+        self,
+        specs: Iterable[QuerySpec | tuple],
+        *,
+        deadline: float | None = None,
+        max_batches: int | None = None,
+        cancel: threading.Event | Callable[[], bool] | None = None,
+        capture: bool = True,
+    ) -> BatchReport:
+        """Serve the batch under one shared wall-clock budget, never all-or-nothing.
+
+        Queries run sequentially (in submission order) through
+        :meth:`~repro.engine.Engine.query_stream`, sharing the batch-wide
+        ``deadline`` (seconds).  When the budget — or the ``cancel`` flag, or
+        a per-query ``max_batches`` cap — cuts a query short, its outcome
+        carries the last :class:`~repro.core.result.PartialKSPRResult`
+        snapshot in ``partial`` and the engine checkpoints the paused stream:
+        re-running the same batch resumes each unfinished query from its
+        cached frontier instead of starting over.  Queries the budget never
+        reached are marked ``skipped``.  Failures are captured per query; the
+        batch always returns a complete report.  ``capture=False`` skips the
+        per-tick frontier freeze when nobody will read the partials' impact
+        brackets — the cheapest way to run a purely deadline-bounded batch.
+        """
+        normalized = [coerce_spec(index, spec) for index, spec in enumerate(specs)]
+        hits_before = self.engine.stats.cache_hits
+        cold_before = self.engine.stats.cold_queries
+        start = time.perf_counter()
+        expires_at = None if deadline is None else start + float(deadline)
+        # One budget probes the batch-level cancellation flag; the per-query
+        # deadline is recomputed each iteration from the shared expiry.
+        batch_budget = StreamBudget(cancel=cancel)
+
+        for outcome in normalized:
+            remaining = None if expires_at is None else expires_at - time.perf_counter()
+            if batch_budget.cancelled() or (remaining is not None and remaining <= 0):
+                outcome.skipped = True
+                continue
+            spec = outcome.spec
+            query_start = time.perf_counter()
+            try:
+                last: PartialKSPRResult | None = None
+                for snapshot in self.engine.query_stream(
+                    spec.focal,
+                    spec.k,
+                    method=spec.method,
+                    deadline=remaining,
+                    max_batches=max_batches,
+                    cancel=cancel,
+                    capture=capture,
+                    **spec.option_dict(),
+                ):
+                    last = snapshot
+                if last is not None and last.done:
+                    outcome.result = last.to_result()
+                elif last is not None:
+                    outcome.partial = last
+                else:
+                    outcome.skipped = True
+            except Exception as error:  # noqa: BLE001 - reported per query
+                outcome.error = error
+            outcome.seconds = time.perf_counter() - query_start
+
+        return BatchReport(
+            outcomes=normalized,
+            wall_seconds=time.perf_counter() - start,
+            cache_hits=self.engine.stats.cache_hits - hits_before,
+            cold_queries=self.engine.stats.cold_queries - cold_before,
+        )
 
 
 def run_batch(engine, specs: Iterable[QuerySpec | tuple], max_workers: int | None = None) -> BatchReport:

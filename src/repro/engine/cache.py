@@ -8,6 +8,16 @@ could influence that entry's answer (see
 :meth:`repro.engine.Engine.insert`); unaffected entries are *re-keyed* to the
 new dataset fingerprint and keep serving, affected ones are dropped.  That is
 what makes invalidation precise instead of a blanket flush.
+
+:class:`PartialStore` applies the same keying and invalidation discipline to
+*paused anytime queries*: a deadline-truncated
+:meth:`~repro.engine.Engine.query_stream` checkpoints its suspended
+:class:`~repro.stream.AnytimeQuery` here, and a re-issue of the same query
+warm-starts from the checkpoint instead of recomputing from scratch.  An
+update that provably cannot change an entry's answer (the exact rule of
+:meth:`Engine._is_affected`) also cannot change its pruned competitor input,
+so unaffected checkpoints stay resumable across updates; affected ones are
+closed and dropped.
 """
 
 from __future__ import annotations
@@ -23,7 +33,7 @@ import numpy as np
 from ..core.result import KSPRResult
 from ..robust import Tolerance
 
-__all__ = ["CacheEntry", "ResultCache", "options_key"]
+__all__ = ["CacheEntry", "ResultCache", "PartialEntry", "PartialStore", "options_key"]
 
 
 def _canonical_value(value) -> tuple | str:
@@ -197,4 +207,155 @@ class ResultCache:
             "evictions": self.evictions,
             "invalidated": self.invalidated,
             "rekeyed": self.rekeyed,
+        }
+
+
+@dataclass
+class PartialEntry:
+    """One paused anytime query plus the metadata for precise invalidation.
+
+    ``query`` is the suspended :class:`~repro.stream.AnytimeQuery` — its
+    generator holds the full loop state (CellTree, processed set, certified
+    cells), which is what makes a resumed run byte-identical to an
+    uninterrupted one.
+    """
+
+    fingerprint: str
+    focal: np.ndarray
+    k: int
+    method: str
+    opts: tuple
+    #: The suspended AnytimeQuery (typed loosely: the store never advances
+    #: it, it only checkpoints, hands back and closes).
+    query: object
+    #: Whether the stream's cold path used k-skyband pruning (same role as
+    #: :attr:`CacheEntry.pruned` in the invalidation rule).
+    pruned: bool = False
+    #: Whether the suspended producers freeze the frontier per tick.  A
+    #: ``capture=False`` checkpoint cannot serve a ``capture=True`` re-issue
+    #: (its snapshots would silently carry only the trivial upper bound), so
+    #: the engine declines to resume it for such callers.
+    capture: bool = True
+
+    @property
+    def key(self) -> tuple:
+        """The lookup key this entry is stored under."""
+        return (self.fingerprint, self.focal.tobytes(), self.k, self.method, self.opts)
+
+    def close(self) -> None:
+        """Release the checkpoint's resources (suspended generators, pools)."""
+        closer = getattr(self.query, "close", None)
+        if closer is not None:
+            closer()
+
+
+class PartialStore:
+    """A bounded LRU of paused anytime-query checkpoints.
+
+    Mirrors :class:`ResultCache`'s keying and update reconciliation, with two
+    differences: a ``pop`` (checkout) removes the entry — a checkpoint must
+    never be advanced by two consumers concurrently — and every entry that
+    leaves the store without being resumed is ``close()``d so suspended
+    worker pools are released.  Not thread-safe by itself;
+    :class:`repro.engine.Engine` serialises access through its own lock.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("partial store capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, PartialEntry] = OrderedDict()
+        self.saves = 0
+        self.resumes = 0
+        self.evictions = 0
+        self.invalidated = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def peek(self, key: tuple) -> PartialEntry | None:
+        """Look at a checkpoint without checking it out or counting a resume.
+
+        Lets the engine inspect entry metadata (e.g. the capture mode) and
+        decide between :meth:`pop` (actual resume) and :meth:`discard`
+        (unusable checkpoint) without skewing the counters."""
+        return self._entries.get(key)
+
+    def pop(self, key: tuple) -> PartialEntry | None:
+        """Check a checkpoint out of the store (it must be re-``put`` to persist)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.resumes += 1
+        return entry
+
+    def discard(self, key: tuple) -> None:
+        """Drop (and close) a checkpoint that will never be resumed.
+
+        Used when a full result lands under the same key: the checkpoint is
+        unreachable from then on — every lookup hits the result cache first —
+        so its resources (suspended generators, worker pools) are released
+        immediately instead of lingering until LRU pressure.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            entry.close()
+
+    def put(self, entry: PartialEntry) -> None:
+        """Checkpoint a paused query, evicting (and closing) the LRU one when full."""
+        key = entry.key
+        existing = self._entries.pop(key, None)
+        if existing is not None and existing.query is not entry.query:
+            existing.close()
+        self._entries[key] = entry
+        self.saves += 1
+        while len(self._entries) > self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            evicted.close()
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Close and drop every checkpoint (counters are preserved)."""
+        for entry in self._entries.values():
+            entry.close()
+        self._entries.clear()
+
+    def apply_update(
+        self,
+        new_fingerprint: str,
+        is_affected: Callable[[PartialEntry], bool],
+    ) -> tuple[int, int]:
+        """Reconcile the checkpoints with a dataset update.
+
+        Affected entries are closed and dropped (their suspended computation
+        runs against a competitor set the update may have changed);
+        unaffected ones are re-keyed under ``new_fingerprint`` — the update
+        provably cannot change their answer *or* their pruned competitor
+        input, so the suspended computation remains exactly the one a cold
+        re-run would perform.  Returns ``(retained, dropped)``.
+        """
+        retained: OrderedDict[tuple, PartialEntry] = OrderedDict()
+        dropped = 0
+        for entry in self._entries.values():
+            if is_affected(entry):
+                entry.close()
+                dropped += 1
+                continue
+            entry.fingerprint = new_fingerprint
+            retained[entry.key] = entry
+        self._entries = retained
+        self.invalidated += dropped
+        return len(retained), dropped
+
+    def info(self) -> dict[str, int]:
+        """Counters in a plain dict (for logs and tests)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "saves": self.saves,
+            "resumes": self.resumes,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
         }

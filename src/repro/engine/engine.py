@@ -41,6 +41,18 @@ updated record ``r``:
 
 Rules 1–4 keep cached results byte-identical to what a cold re-run against
 the current dataset would produce.
+
+**Anytime serving** — :meth:`Engine.query_stream` answers a query as a stream
+of :class:`~repro.core.result.PartialKSPRResult` snapshots (regions are
+yielded as soon as Lemma 5 certifies them) under a ``deadline`` /
+``max_batches`` / cancellation budget.  A truncated stream is checkpointed in
+a :class:`~repro.engine.cache.PartialStore` keyed exactly like the result
+cache (fingerprint, focal, k, method, tolerance-aware options), so
+re-issuing the query warm-starts from the paused frontier; a completed
+stream installs its result in the ordinary result cache, where subsequent
+:meth:`query` calls hit.  Partial checkpoints obey the same rules 1–4 on
+updates: entries the update provably cannot affect stay resumable, the rest
+are dropped.
 """
 
 from __future__ import annotations
@@ -49,14 +61,14 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from ..core.base import PreparedQuery
 from ..core.bounds import BoundsMode
 from ..core.query import resolve_method, validate_query
-from ..core.result import KSPRResult
+from ..core.result import KSPRResult, PartialKSPRResult
 from ..exceptions import InvalidDatasetError, InvalidQueryError
 from ..geometry.halfspace import Hyperplane
 from ..index.rtree import AggregateRTree
@@ -64,7 +76,7 @@ from ..index.skyline import SkybandDelta, SkybandIndex
 from ..index.skyline import skyline as bbs_skyline
 from ..records import Dataset, FocalPartition, dominates
 from ..robust import Tolerance, resolve_tolerance
-from .cache import CacheEntry, ResultCache, options_key
+from .cache import CacheEntry, PartialEntry, PartialStore, ResultCache, options_key
 
 __all__ = ["Engine", "EngineStats"]
 
@@ -89,6 +101,10 @@ class EngineStats:
     entries_invalidated: int = 0
     entries_retained: int = 0
     adopted_results: int = 0
+    stream_queries: int = 0
+    stream_resumes: int = 0
+    partials_saved: int = 0
+    partials_invalidated: int = 0
     cold_seconds: float = 0.0
     prepare_seconds: float = 0.0
 
@@ -105,6 +121,10 @@ class EngineStats:
             "entries_invalidated": self.entries_invalidated,
             "entries_retained": self.entries_retained,
             "adopted_results": self.adopted_results,
+            "stream_queries": self.stream_queries,
+            "stream_resumes": self.stream_resumes,
+            "partials_saved": self.partials_saved,
+            "partials_invalidated": self.partials_invalidated,
             "cold_seconds": self.cold_seconds,
             "prepare_seconds": self.prepare_seconds,
         }
@@ -161,6 +181,9 @@ class Engine:
         Fanout of every aggregate R-tree the engine builds.
     result_cache_size / prepared_cache_size:
         Capacities of the result LRU and the prepared-state LRU.
+    partial_cache_size:
+        Capacity of the paused-stream checkpoint LRU (see
+        :meth:`query_stream`); evicted checkpoints are closed, not resumed.
     prune_skyband:
         Disable to make cold queries byte-identical to plain ``kspr()`` calls
         (useful for differential testing); pruning never changes the answer,
@@ -192,6 +215,7 @@ class Engine:
         fanout: int = 32,
         result_cache_size: int = 512,
         prepared_cache_size: int = 64,
+        partial_cache_size: int = 32,
         prune_skyband: bool = True,
         tolerance: Tolerance | float | None = None,
     ) -> None:
@@ -213,6 +237,7 @@ class Engine:
         self._snapshot = dataset
         self._shared_tree = AggregateRTree(dataset, fanout=self._fanout)
         self._result_cache = ResultCache(result_cache_size)
+        self._partials = PartialStore(partial_cache_size)
         self._prepared_capacity = int(prepared_cache_size)
         self._prepared: OrderedDict[tuple, _PreparedEntry] = OrderedDict()
         self._hyperplanes: dict[tuple, dict[int, Hyperplane]] = {}
@@ -448,7 +473,207 @@ class Engine:
                         pruned=entry.pruned,
                     )
                 )
+                # The full result shadows any paused-stream checkpoint under
+                # this key; release it rather than let it linger unreachable.
+                self._partials.discard(key)
         return result
+
+    def query_stream(
+        self,
+        focal: np.ndarray | Sequence[float],
+        k: int,
+        method: str | None = None,
+        *,
+        deadline: float | None = None,
+        max_batches: int | None = None,
+        cancel: threading.Event | Callable[[], bool] | None = None,
+        workers: int | None = None,
+        capture: bool = True,
+        **options,
+    ) -> Iterator[PartialKSPRResult]:
+        """Answer one kSPR query as an anytime stream of partial results.
+
+        Yields a :class:`~repro.core.result.PartialKSPRResult` after every
+        cooperative work unit (batch / chunk / shard commit): certified
+        regions appear as soon as Lemma 5 proves them final, each snapshot
+        carries a monotonically tightening ``[lower, upper]`` impact bracket,
+        and the terminal snapshot (``done=True``) wraps the exact result —
+        which is also installed in the result cache, so a follow-up
+        :meth:`query` hits.
+
+        ``deadline`` (seconds), ``max_batches`` and ``cancel`` bound the
+        stream; when the budget runs out (or the consumer abandons the
+        iterator) the suspended query is checkpointed in the partial-result
+        cache under the same tolerance-aware key as the result cache.
+        Re-issuing the query — same focal, ``k``, method and options against
+        an unchanged (or provably unaffected, rules 1–4) dataset state —
+        warm-starts from the checkpoint, and the final answer is
+        byte-identical to an uninterrupted run.  ``workers`` (> 1) streams a
+        ``"cta"`` query through the sharded parallel path, merging per-worker
+        region streams in deterministic depth-first order.  ``capture=False``
+        skips the per-tick frontier freeze (snapshots then report the
+        trivial upper bound) for consumers that never read impact brackets.
+
+        A checkpointed ``workers > 1`` stream keeps its suspended worker
+        pool alive — already dispatched shard groups finish in the
+        background and are collected on resume.  Budget ``workers``
+        checkpoints accordingly (``partial_cache_size`` bounds how many can
+        accumulate; eviction, invalidation, or a shadowing full result
+        closes them).
+        """
+        # Validate the query AND the budget eagerly so errors raise at call
+        # time, not at the first ``next()`` — a call that never starts also
+        # never saves a ghost checkpoint.
+        from ..stream.anytime import StreamBudget  # local: engine <-> stream
+
+        StreamBudget(deadline=deadline, max_batches=max_batches)
+        method_name, _ = resolve_method(method or self._default_method)
+        with self._lock:
+            snapshot = self._snapshot
+        focal_array = validate_query(snapshot, focal, k)
+        options = self._effective_options(options)
+        opts = options_key(options)
+        return self._stream(
+            snapshot, focal_array, int(k), method_name, options, opts,
+            deadline=deadline, max_batches=max_batches, cancel=cancel,
+            workers=workers, capture=capture,
+        )
+
+    def _stream(
+        self,
+        snapshot: Dataset,
+        focal_array: np.ndarray,
+        k: int,
+        method_name: str,
+        options: dict,
+        opts: tuple,
+        *,
+        deadline: float | None,
+        max_batches: int | None,
+        cancel: threading.Event | Callable[[], bool] | None,
+        workers: int | None,
+        capture: bool,
+    ) -> Iterator[PartialKSPRResult]:
+        """Generator behind :meth:`query_stream` (checkout → advance → checkpoint)."""
+        from ..stream.anytime import AnytimeQuery, stream_kspr  # local: engine <-> stream
+
+        fingerprint = snapshot.fingerprint()
+        key = (fingerprint, focal_array.tobytes(), k, method_name, opts)
+        pruned = self._prune and k <= self.k_max
+
+        with self._lock:
+            self.stats.queries += 1
+            self.stats.stream_queries += 1
+            cached = self._result_cache.get(key)
+            checkpoint = None
+            if cached is not None:
+                self.stats.cache_hits += 1
+                # A full result shadows any checkpoint under the same key
+                # forever; release the orphan's resources now.
+                self._partials.discard(key)
+            else:
+                checkpoint = self._partials.peek(key)
+                if checkpoint is not None and capture and not checkpoint.capture:
+                    # The checkpoint never captures frontiers, but this
+                    # caller wants brackets: resuming would silently serve
+                    # only the trivial upper bound.  Drop it and recompute
+                    # (without counting a resume that never happened).
+                    self._partials.discard(key)
+                    checkpoint = None
+                elif checkpoint is not None:
+                    checkpoint = self._partials.pop(key)
+                    self.stats.stream_resumes += 1
+        if cached is not None:
+            yield PartialKSPRResult.from_result(cached)
+            return
+
+        if checkpoint is not None:
+            anytime: AnytimeQuery = checkpoint.query
+            fingerprint = checkpoint.fingerprint
+            # The suspended producers keep their original capture mode; a
+            # re-checkpoint must record that, not the caller's flag.
+            capture = checkpoint.capture
+        else:
+            space = _ORIGINAL if method_name in ("op_cta", "olp_cta") else options.get(
+                "space", _TRANSFORMED
+            )
+            entry, prepared_snapshot = self._prepared_for(focal_array, k, space)
+            if prepared_snapshot is not snapshot:
+                # An update raced query admission: stream against the state
+                # the prepared entry describes and re-key accordingly.
+                snapshot = prepared_snapshot
+                fingerprint = snapshot.fingerprint()
+                key = (fingerprint, focal_array.tobytes(), k, method_name, opts)
+            anytime = stream_kspr(
+                snapshot,
+                focal_array,
+                k,
+                method=method_name,
+                workers=workers if method_name == "cta" else None,
+                prepared=entry.prepared,
+                capture=capture,
+                **options,
+            )
+
+        try:
+            for partial in anytime.advance(
+                deadline=deadline, max_batches=max_batches, cancel=cancel
+            ):
+                if partial.done:
+                    result = anytime.result()
+                    with self._lock:
+                        self.stats.cold_queries += 1
+                        # Never cache a result whose dataset state has been
+                        # superseded mid-stream.
+                        if self._snapshot.fingerprint() == fingerprint:
+                            self._result_cache.put(
+                                CacheEntry(
+                                    fingerprint=fingerprint,
+                                    focal=focal_array,
+                                    k=k,
+                                    method=method_name,
+                                    opts=opts,
+                                    result=result,
+                                    pruned=pruned,
+                                )
+                            )
+                    yield PartialKSPRResult.from_result(result, batches=partial.batches)
+                else:
+                    yield partial
+        finally:
+            if anytime.failed:
+                # A crashed stream must never be checkpointed: resuming it
+                # would silently serve a truncated answer as complete.
+                anytime.close()
+            elif not anytime.done:
+                with self._lock:
+                    # No checkpoint if the dataset state moved on, or if a
+                    # concurrent query already installed the full result —
+                    # every lookup would hit that first, orphaning the
+                    # checkpoint (and any suspended worker pool) forever.
+                    if self._snapshot.fingerprint() == fingerprint and key not in self._result_cache:
+                        self._partials.put(
+                            PartialEntry(
+                                fingerprint=fingerprint,
+                                focal=focal_array,
+                                k=k,
+                                method=method_name,
+                                opts=opts,
+                                query=anytime,
+                                pruned=pruned,
+                                capture=capture,
+                            )
+                        )
+                        self.stats.partials_saved += 1
+                    else:
+                        # An update the stream never saw raced it: the paused
+                        # state may describe a stale competitor set, drop it.
+                        anytime.close()
+
+    def partial_info(self) -> dict[str, int]:
+        """Paused-stream checkpoint counters (size, saves, resumes, ...)."""
+        with self._lock:
+            return self._partials.info()
 
     def adopt_result(
         self,
@@ -485,6 +710,9 @@ class Engine:
                     result=result,
                     pruned=pruned,
                 )
+            )
+            self._partials.discard(
+                (fingerprint, focal_array.tobytes(), int(k), method_name, opts)
             )
             self.stats.adopted_results += 1
             return True
@@ -641,6 +869,19 @@ class Engine:
         )
         self.stats.entries_invalidated += dropped
         self.stats.entries_retained += retained
+
+        # Paused streams follow the same rules 1-4: an update that provably
+        # cannot change an entry's answer cannot change its (pruned)
+        # competitor input either, so the suspended computation stays exactly
+        # the one a cold re-run would perform and the checkpoint is re-keyed;
+        # affected checkpoints are closed and dropped.
+        _, partials_dropped = self._partials.apply_update(
+            new_fingerprint,
+            lambda entry: self._is_affected(
+                entry.focal, entry.k, entry.pruned, delta, inserted
+            ),
+        )
+        self.stats.partials_invalidated += partials_dropped
 
         stale = [
             pkey

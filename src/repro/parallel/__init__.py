@@ -30,10 +30,11 @@ whole batch on ``N`` cores and adopts the answers into the engine's cache.
 from .compare import assert_results_identical, results_identical
 from .executor import ShardedExecutor
 from .shards import SubtreeShard, plan_focal_shards, resolve_workers
-from .subtree import DEFAULT_SHARD_FACTOR, parallel_cta
+from .subtree import DEFAULT_SHARD_FACTOR, parallel_cta, parallel_ticks
 
 __all__ = [
     "parallel_cta",
+    "parallel_ticks",
     "ShardedExecutor",
     "SubtreeShard",
     "plan_focal_shards",

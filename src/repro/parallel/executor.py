@@ -71,16 +71,24 @@ def _portable_error(error: Exception | None) -> Exception | None:
 
 
 def _serve_task(
-    tasks: list[tuple[int, list[float], int, str | None, tuple]],
-) -> tuple[list[tuple[int, object, Exception | None, float]], int, int]:
-    """Worker entry point: answer a shard of queries against the shared state."""
+    payload: tuple[list[tuple[int, list[float], int, str | None, tuple]], float | None],
+) -> tuple[list[tuple[int, object, Exception | None, float, bool]], int, int]:
+    """Worker entry point: answer a shard of queries against the shared state.
+
+    The deadline travels as an absolute wall-clock epoch (``time.time()``,
+    comparable across processes) anchored at ``run()`` start, so pool
+    startup and state transfer are charged to the caller's budget instead of
+    granting every worker a fresh allowance.
+    """
+    tasks, deadline_epoch = payload
+    budget_seconds = None if deadline_epoch is None else max(0.0, deadline_epoch - time.time())
     dataset = _WORKER_STATE["dataset"]
     counts_by_id = _WORKER_STATE["counts_by_id"]
     settings = _WORKER_STATE["settings"]
-    outcomes, hits, cold = _serve(dataset, counts_by_id, settings, tasks)
+    outcomes, hits, cold = _serve(dataset, counts_by_id, settings, tasks, budget_seconds)
     safe = []
-    for index, result, error, seconds in outcomes:
-        safe.append((index, result, _portable_error(error), seconds))
+    for index, result, error, seconds, skipped in outcomes:
+        safe.append((index, result, _portable_error(error), seconds, skipped))
     return safe, hits, cold
 
 
@@ -89,20 +97,34 @@ def _serve(
     counts_by_id: dict[int, int] | None,
     settings: dict,
     tasks: Iterable[tuple[int, Sequence[float], int, str | None, tuple]],
-) -> tuple[list[tuple[int, object, Exception | None, float]], int, int]:
+    budget_seconds: float | None = None,
+) -> tuple[list[tuple[int, object, Exception | None, float, bool]], int, int]:
     """Answer queries sequentially, reusing per-focal prepared state.
 
     Mirrors :meth:`repro.engine.Engine.query`'s cold path: identical focal
     partitioning, identical k-skyband slice (from the same dominator counts),
     identical STR-built competitor tree — hence identical answers.
+
+    ``budget_seconds`` makes the serve loop deadline-aware: the budget is
+    checked *between* queries (cooperative, per-query granularity — an
+    in-flight query always completes), and queries past the deadline are
+    returned as *skipped* rather than failed, preserving submission order so
+    the served prefix of every shard is deterministic.
     """
     prepared_cache: dict[tuple, PreparedQuery] = {}
     hyperplane_caches: dict[tuple, dict] = {}
     result_cache: dict[tuple, object] = {}
-    outcomes: list[tuple[int, object, Exception | None, float]] = []
+    outcomes: list[tuple[int, object, Exception | None, float, bool]] = []
     hits = 0
     cold = 0
+    serve_start = time.perf_counter()
     for index, focal, k, method, option_items in tasks:
+        if (
+            budget_seconds is not None
+            and time.perf_counter() - serve_start >= budget_seconds
+        ):
+            outcomes.append((index, None, None, 0.0, True))
+            continue
         start = time.perf_counter()
         try:
             options = dict(option_items)
@@ -123,7 +145,7 @@ def _serve(
             cached = result_cache.get(qkey)
             if cached is not None:
                 hits += 1
-                outcomes.append((index, cached, None, time.perf_counter() - start))
+                outcomes.append((index, cached, None, time.perf_counter() - start, False))
                 continue
 
             pruned = (
@@ -159,9 +181,9 @@ def _serve(
             cold += 1
             result = method_func(dataset, focal_array, int(k), prepared=prepared, **options)
             result_cache[qkey] = result
-            outcomes.append((index, result, None, time.perf_counter() - start))
+            outcomes.append((index, result, None, time.perf_counter() - start, False))
         except Exception as error:  # noqa: BLE001 - reported per query
-            outcomes.append((index, None, error, time.perf_counter() - start))
+            outcomes.append((index, None, error, time.perf_counter() - start, False))
     return outcomes, hits, cold
 
 
@@ -224,8 +246,18 @@ class ShardedExecutor:
         else:
             self.counts_by_id = None
 
-    def run(self, specs: Iterable[QuerySpec | tuple]) -> BatchReport:
-        """Execute every query and return a :class:`BatchReport` in submission order."""
+    def run(
+        self, specs: Iterable[QuerySpec | tuple], deadline: float | None = None
+    ) -> BatchReport:
+        """Execute every query and return a :class:`BatchReport` in submission order.
+
+        ``deadline`` (seconds) makes the run anytime: every worker serves its
+        shard in submission order until the budget elapses; queries past it
+        are returned with ``skipped=True`` (neither answered nor failed), so
+        the caller gets a well-defined completed prefix per shard instead of
+        an all-or-nothing timeout.  Granularity is one query — an in-flight
+        query always completes.
+        """
         normalized = [coerce_spec(index, spec) for index, spec in enumerate(specs)]
         tasks = [
             (
@@ -238,9 +270,17 @@ class ShardedExecutor:
             for outcome in normalized
         ]
         start = time.perf_counter()
+        # One budget anchor for the whole call: pool startup and state
+        # transfer spend the caller's deadline, not extra time on top of it.
+        deadline_epoch = None if deadline is None else time.time() + float(deadline)
         if self.workers == 1 or len(tasks) <= 1:
-            raw, hits, cold = _serve(self.dataset, self.counts_by_id, self.settings, tasks)
-            errors = {index: error for index, _, error, _ in raw}
+            remaining = (
+                None if deadline_epoch is None else max(0.0, deadline_epoch - time.time())
+            )
+            raw, hits, cold = _serve(
+                self.dataset, self.counts_by_id, self.settings, tasks, remaining
+            )
+            errors = {index: error for index, _, error, _, _ in raw}
         else:
             plan = plan_focal_shards(
                 [np.asarray(task[1], dtype=float).tobytes() for task in tasks],
@@ -262,20 +302,24 @@ class ShardedExecutor:
                     self.settings,
                 ),
             ) as pool:
-                for shard_raw, shard_hits, shard_cold in pool.map(_serve_task, chunks):
+                payloads = [(chunk, deadline_epoch) for chunk in chunks]
+                for shard_raw, shard_hits, shard_cold in pool.map(_serve_task, payloads):
                     hits += shard_hits
                     cold += shard_cold
-                    for index, result, error, seconds in shard_raw:
-                        raw.append((index, result, None, seconds))
+                    for index, result, error, seconds, skipped in shard_raw:
+                        raw.append((index, result, None, seconds, skipped))
                         errors[index] = error
         wall = time.perf_counter() - start
 
-        by_index = {index: (result, seconds) for index, result, _, seconds in raw}
+        by_index = {
+            index: (result, seconds, skipped) for index, result, _, seconds, skipped in raw
+        }
         for outcome in normalized:
-            result, seconds = by_index[outcome.index]
+            result, seconds, skipped = by_index[outcome.index]
             outcome.result = result
             outcome.error = errors.get(outcome.index)
             outcome.seconds = seconds
+            outcome.skipped = skipped
         return BatchReport(
             outcomes=normalized,
             wall_seconds=wall,

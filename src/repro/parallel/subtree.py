@@ -20,26 +20,40 @@ tests, splits and eliminations the serial run performs inside that subtree,
 in the same order, on the same constraint rows; and a depth-first traversal
 of the full tree is the concatenation of the seed tree's depth-first leaf
 order with each leaf's subtree traversal.
+
+Execution is a *stream*: :func:`parallel_ticks` commits finished shards
+strictly in the seed tree's depth-first order (an out-of-order shard result
+is buffered until every earlier shard has landed) and yields one
+:class:`~repro.core.base.StreamTick` per commit, so consumers receive region
+prefixes of the deterministic serial order while later shards are still
+running.  :func:`parallel_cta` is the all-at-once drain of that stream.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..core.base import PreparedQuery, ReportedCell, build_result, prepare_context
+from ..core.base import (
+    PreparedQuery,
+    QueryContext,
+    ReportedCell,
+    StreamTick,
+    build_result,
+    prepare_context,
+)
 from ..core.celltree import CellTree
-from ..core.result import KSPRResult
+from ..core.result import FrontierCell, KSPRResult
 from ..geometry.halfspace import Hyperplane
 from ..geometry.linprog import ConstraintStack, LPCounters
 from ..records import Dataset
 from ..robust import Tolerance
 from .shards import SubtreeShard, resolve_workers
 
-__all__ = ["parallel_cta", "DEFAULT_SHARD_FACTOR"]
+__all__ = ["parallel_cta", "parallel_ticks", "DEFAULT_SHARD_FACTOR"]
 
 #: Target number of shards per worker.  Over-partitioning keeps workers busy
 #: when shards die early (their whole subtree gets eliminated).
@@ -101,6 +115,207 @@ def _expand_shard_group(
     return results
 
 
+def parallel_ticks(
+    context: QueryContext,
+    workers: int | None = None,
+    shard_factor: int = DEFAULT_SHARD_FACTOR,
+    capture: bool = False,
+) -> Iterator[StreamTick]:
+    """Sharded CTA expansion as a resumable, deterministically merged stream.
+
+    After the serial seed phase, every active leaf becomes a shard and the
+    shard groups are dispatched to worker processes.  Shards *commit* —
+    i.e. their reported cells are released to the consumer — strictly in the
+    seed tree's depth-first order, buffering out-of-order completions, so the
+    concatenated ``new_cells`` across ticks is exactly the cell sequence of
+    the single-process run regardless of worker scheduling.  ``capture=True``
+    freezes the uncommitted shards as the snapshot frontier (each shard's
+    subtree region bounds everything it may still report).
+
+    Suspending the generator between ticks pauses the *merge*; already
+    dispatched shard groups keep computing in the background and are
+    collected on resume.  Closing the generator cancels undispatched work and
+    releases the pool.
+    """
+    workers = resolve_workers(workers)
+    if context.effective_k < 1:
+        yield StreamTick(done=True)
+        return
+
+    context.prime_hyperplanes()
+    hyperplanes = [context.hyperplane_for(int(record_id)) for record_id in context.competitors.ids]
+    tree = context.new_celltree()
+    insertion_seconds = 0.0
+    segment_start = time.perf_counter()
+
+    # --- seed phase: grow enough independent subtrees to shard over --------
+    target_shards = workers * max(1, shard_factor)
+    seeded = 0
+    exhausted = False
+    while seeded < len(hyperplanes):
+        context.stats.processed_records += 1
+        tree.insert(hyperplanes[seeded])
+        seeded += 1
+        if tree.is_exhausted:
+            exhausted = True
+            break
+        if workers > 1 and _active_leaf_count(tree) >= target_shards:
+            break
+    remaining = [] if exhausted else hyperplanes[seeded:]
+
+    def finish(new_cells: list[ReportedCell], extra_nodes: int, batches: int) -> StreamTick:
+        context.stats.add_phase(
+            "insertion", insertion_seconds + (time.perf_counter() - segment_start)
+        )
+        context.stats.celltree_nodes = tree.node_count() + extra_nodes
+        context.stats.space_bytes = tree.memory_bytes() + context.tree.memory_bytes()
+        # Stats are charged here; the terminal tick carries no tree.
+        return StreamTick(
+            new_cells=new_cells,
+            done=True,
+            batches=batches,
+            processed=context.stats.processed_records,
+        )
+
+    if not remaining:
+        reported: list[ReportedCell] = []
+        for leaf in tree.iter_active_leaves():
+            rank = leaf.rank()
+            if rank <= context.effective_k:
+                view = tree.view(leaf)
+                reported.append(
+                    ReportedCell(
+                        halfspaces=view.bounding_halfspaces,
+                        rank=rank,
+                        witness=view.witness,
+                    )
+                )
+        yield finish(reported, extra_nodes=0, batches=1)
+        return
+
+    shards = []
+    for index, leaf in enumerate(tree.iter_active_leaves()):
+        rank_offset = leaf.rank() - 1
+        if rank_offset + 1 > context.effective_k:
+            # Ranks only grow down the tree: nothing under this leaf can
+            # ever be reported, so the shard is skipped outright.
+            continue
+        shards.append(
+            SubtreeShard(
+                index=index,
+                prefix=tuple(leaf.path_halfspaces()),
+                witnesses=tuple(leaf.witnesses),
+                rank_offset=rank_offset,
+            )
+        )
+    context.stats.processed_records += len(remaining)
+
+    # Round-robin shards into one task per worker; cell order is restored by
+    # the in-order commit of the merge loop below.
+    groups = [shards[start::workers] for start in range(workers)]
+    groups = [group for group in groups if group]
+    payloads = [
+        (
+            context.cell_dimensionality,
+            context.effective_k,
+            remaining,
+            group,
+            context.tolerance,
+        )
+        for group in groups
+    ]
+
+    prefix_by_index = {shard.index: shard.prefix for shard in shards}
+    shard_by_index = {shard.index: shard for shard in shards}
+    shard_order = sorted(shard_by_index)
+    cells_by_index: dict[int, list] = {}
+    committed = 0
+    extra_nodes = 0
+    batches = 0
+
+    def consume_group(group_result) -> None:
+        nonlocal extra_nodes
+        for shard_index, cells, counter_totals, nodes_created in group_result:
+            cells_by_index[shard_index] = cells
+            worker_counters = LPCounters(*counter_totals)
+            context.counters.merge(worker_counters)
+            extra_nodes += nodes_created - 1  # the worker root IS the seed leaf
+
+    def commit_ready() -> list[ReportedCell]:
+        nonlocal committed
+        new_cells: list[ReportedCell] = []
+        while committed < len(shard_order) and shard_order[committed] in cells_by_index:
+            shard_index = shard_order[committed]
+            prefix = prefix_by_index[shard_index]
+            for local_path, rank, witness in cells_by_index[shard_index]:
+                new_cells.append(
+                    ReportedCell(halfspaces=prefix + local_path, rank=rank, witness=witness)
+                )
+            committed += 1
+        return new_cells
+
+    def frontier() -> tuple[FrontierCell, ...]:
+        if not capture:
+            return ()
+        return tuple(
+            FrontierCell(
+                halfspaces=shard_by_index[shard_index].prefix,
+                rank=shard_by_index[shard_index].rank_offset + 1,
+                witness=(
+                    shard_by_index[shard_index].witnesses[0]
+                    if shard_by_index[shard_index].witnesses
+                    else None
+                ),
+            )
+            for shard_index in shard_order[committed:]
+        )
+
+    if len(payloads) <= 1 or workers == 1:
+        # In-process expansion: stream one shard group at a time.
+        for position, payload in enumerate(payloads):
+            consume_group(_expand_shard_group(payload))
+            batches += 1
+            new_cells = commit_ready()
+            if position + 1 == len(payloads):
+                yield finish(new_cells, extra_nodes, batches)
+                return
+            insertion_seconds += time.perf_counter() - segment_start
+            yield StreamTick(
+                new_cells=new_cells,
+                frontier=frontier(),
+                done=False,
+                batches=batches,
+                processed=context.stats.processed_records,
+            )
+            segment_start = time.perf_counter()
+        yield finish([], extra_nodes, batches)  # pragma: no cover - payloads never empty
+        return
+
+    pool = ProcessPoolExecutor(max_workers=len(payloads))
+    try:
+        pending = {pool.submit(_expand_shard_group, payload) for payload in payloads}
+        while pending:
+            ready, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in ready:
+                consume_group(future.result())
+            batches += 1
+            new_cells = commit_ready()
+            if not pending:
+                yield finish(new_cells, extra_nodes, batches)
+                return
+            insertion_seconds += time.perf_counter() - segment_start
+            yield StreamTick(
+                new_cells=new_cells,
+                frontier=frontier(),
+                done=False,
+                batches=batches,
+                processed=context.stats.processed_records,
+            )
+            segment_start = time.perf_counter()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def parallel_cta(
     dataset: Dataset,
     focal: np.ndarray | Sequence[float],
@@ -119,7 +334,9 @@ def parallel_cta(
     worker).  The answer — every region's bounding halfspaces, rank and
     witness — is identical to the single-process :func:`~repro.core.cta.cta`
     call; with ``workers=1`` the computation itself degenerates to the
-    serial loop.
+    serial loop.  Implemented as the all-at-once drain of
+    :func:`parallel_ticks`, the same stream the anytime serving layer pulls
+    incrementally.
     """
     workers = resolve_workers(workers)
     context = prepare_context(
@@ -131,97 +348,7 @@ def parallel_cta(
         prepared=prepared,
         tolerance=tolerance,
     )
-    if context.effective_k < 1:
-        return build_result(context, [], None, finalize_geometry)
-
-    context.prime_hyperplanes()
-    hyperplanes = [context.hyperplane_for(int(record_id)) for record_id in context.competitors.ids]
-    tree = context.new_celltree()
-    insertion_start = time.perf_counter()
-
-    # --- seed phase: grow enough independent subtrees to shard over --------
-    target_shards = workers * max(1, shard_factor)
-    seeded = 0
-    exhausted = False
-    while seeded < len(hyperplanes):
-        context.stats.processed_records += 1
-        tree.insert(hyperplanes[seeded])
-        seeded += 1
-        if tree.is_exhausted:
-            exhausted = True
-            break
-        if workers > 1 and _active_leaf_count(tree) >= target_shards:
-            break
-    remaining = [] if exhausted else hyperplanes[seeded:]
-
     reported: list[ReportedCell] = []
-    extra_nodes = 0
-    if remaining:
-        shards = []
-        for index, leaf in enumerate(tree.iter_active_leaves()):
-            rank_offset = leaf.rank() - 1
-            if rank_offset + 1 > context.effective_k:
-                # Ranks only grow down the tree: nothing under this leaf can
-                # ever be reported, so the shard is skipped outright.
-                continue
-            shards.append(
-                SubtreeShard(
-                    index=index,
-                    prefix=tuple(leaf.path_halfspaces()),
-                    witnesses=tuple(leaf.witnesses),
-                    rank_offset=rank_offset,
-                )
-            )
-        context.stats.processed_records += len(remaining)
-
-        # Round-robin shards into one task per worker; cell order is restored
-        # from the shard indices after the gather.
-        groups = [shards[start::workers] for start in range(workers)]
-        groups = [group for group in groups if group]
-        payloads = [
-            (
-                context.cell_dimensionality,
-                context.effective_k,
-                remaining,
-                group,
-                context.tolerance,
-            )
-            for group in groups
-        ]
-        if len(payloads) <= 1 or workers == 1:
-            gathered = [_expand_shard_group(payload) for payload in payloads]
-        else:
-            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
-                gathered = list(pool.map(_expand_shard_group, payloads))
-
-        prefix_by_index = {shard.index: shard.prefix for shard in shards}
-        cells_by_index: dict[int, list] = {}
-        for group_result in gathered:
-            for shard_index, cells, counter_totals, nodes_created in group_result:
-                cells_by_index[shard_index] = cells
-                worker_counters = LPCounters(*counter_totals)
-                context.counters.merge(worker_counters)
-                extra_nodes += nodes_created - 1  # the worker root IS the seed leaf
-        for shard_index in sorted(cells_by_index):
-            prefix = prefix_by_index[shard_index]
-            for local_path, rank, witness in cells_by_index[shard_index]:
-                reported.append(
-                    ReportedCell(halfspaces=prefix + local_path, rank=rank, witness=witness)
-                )
-    else:
-        for leaf in tree.iter_active_leaves():
-            rank = leaf.rank()
-            if rank <= context.effective_k:
-                view = tree.view(leaf)
-                reported.append(
-                    ReportedCell(
-                        halfspaces=view.bounding_halfspaces,
-                        rank=rank,
-                        witness=view.witness,
-                    )
-                )
-
-    context.stats.add_phase("insertion", time.perf_counter() - insertion_start)
-    context.stats.celltree_nodes = tree.node_count() + extra_nodes
-    context.stats.space_bytes = tree.memory_bytes() + context.tree.memory_bytes()
+    for tick in parallel_ticks(context, workers=workers, shard_factor=shard_factor):
+        reported.extend(tick.new_cells)
     return build_result(context, reported, None, finalize_geometry)

@@ -1,0 +1,39 @@
+"""``repro.stream`` — anytime kSPR region streaming with deadline-aware serving.
+
+The paper's progressive algorithms certify answer regions long before the
+query finishes (Lemma 5), but the all-at-once drivers only hand back a
+complete :class:`~repro.core.result.KSPRResult`.  This subsystem exposes the
+progressive loops as *streams*:
+
+* :func:`stream_kspr` opens an :class:`AnytimeQuery` for any method —
+  including CTA sharded across worker processes — whose
+  :meth:`~AnytimeQuery.advance` yields
+  :class:`~repro.core.result.PartialKSPRResult` snapshots as regions are
+  certified, each with a provable ``[lower, upper]`` bracket on the final
+  impact probability that tightens monotonically;
+* :class:`StreamBudget` bounds an advance by wall-clock deadline, batch
+  count, or a cancellation flag; exhausting the budget *pauses* the query —
+  resuming later produces a final answer byte-identical to an uninterrupted
+  run;
+* the serving layer builds on the same seam:
+  :meth:`repro.engine.Engine.query_stream` checkpoints deadline-truncated
+  queries in a partial-result cache and warm-starts them on re-issue.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import Dataset
+>>> from repro.stream import stream_kspr
+>>> data = Dataset(np.array([[3, 8, 8], [9, 4, 4], [8, 3, 4], [4, 3, 6]]))
+>>> query = stream_kspr(data, focal=[5, 5, 7], k=3)
+>>> snapshots = list(query.advance())
+>>> query.done and snapshots[-1].done
+True
+>>> lo, hi = snapshots[-1].impact_bracket()
+>>> abs(hi - lo) < 1e-9  # the bracket collapses on completion
+True
+"""
+
+from .anytime import AnytimeQuery, StreamBudget, stream_kspr
+
+__all__ = ["AnytimeQuery", "StreamBudget", "stream_kspr"]

@@ -1,0 +1,410 @@
+"""Anytime kSPR execution: pull partial results, pause, resume.
+
+The streaming cores (:func:`repro.core.progressive.progressive_ticks`,
+:func:`repro.core.cta.cta_ticks` and :func:`repro.parallel.subtree.parallel_ticks`)
+expose the kSPR loops as suspendable generators of
+:class:`~repro.core.base.StreamTick` work units.  This module is the driver on
+top of them:
+
+* :class:`StreamBudget` — a cooperative execution budget (wall-clock
+  deadline, batch cap, cancellation flag) checked *between* work units, so
+  granularity is one batch / chunk / shard commit;
+* :class:`AnytimeQuery` — wraps a tick stream, accumulates certified regions
+  and yields :class:`~repro.core.result.PartialKSPRResult` snapshots whose
+  ``[lower, upper]`` impact brackets tighten monotonically.  Advancing past
+  the budget simply stops pulling; the suspended generator keeps all loop
+  state, so a later :meth:`AnytimeQuery.advance` resumes exactly where the
+  query paused and the final answer is byte-identical to an uninterrupted
+  run;
+* :func:`stream_kspr` — the `kspr()`-shaped entry point returning an
+  :class:`AnytimeQuery` for any method (serial or, for CTA, sharded across
+  worker processes).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.base import (
+    PreparedQuery,
+    QueryContext,
+    ReportedCell,
+    StreamTick,
+    build_region,
+    build_result,
+    prepare_context,
+)
+from ..core.bounds import BoundsMode, OriginalSpaceBoundEvaluator, TransformedBoundEvaluator
+from ..core.cta import cta_ticks
+from ..core.progressive import progressive_ticks
+from ..core.query import resolve_method, validate_query
+from ..core.result import KSPRResult, PartialKSPRResult, PreferenceRegion
+from ..exceptions import InvalidQueryError
+from ..records import Dataset
+from ..robust import Tolerance
+
+__all__ = ["StreamBudget", "AnytimeQuery", "stream_kspr"]
+
+
+class StreamBudget:
+    """Cooperative execution budget for one :meth:`AnytimeQuery.advance` call.
+
+    ``deadline`` is a wall-clock allowance in seconds (from the moment the
+    budget is created), ``max_batches`` caps the number of work units pulled
+    by this advance, and ``cancel`` is a :class:`threading.Event` (or any
+    object with ``is_set()``, or a zero-argument callable) flipped by the
+    caller to stop the stream at the next work-unit boundary.  ``None``
+    everywhere means "run to completion".
+    """
+
+    def __init__(
+        self,
+        deadline: float | None = None,
+        max_batches: int | None = None,
+        cancel: threading.Event | Callable[[], bool] | None = None,
+    ) -> None:
+        if deadline is not None and deadline < 0:
+            raise InvalidQueryError("deadline must be non-negative seconds")
+        if max_batches is not None and max_batches < 1:
+            raise InvalidQueryError("max_batches must be a positive integer")
+        self.expires_at = None if deadline is None else time.perf_counter() + float(deadline)
+        self.max_batches = None if max_batches is None else int(max_batches)
+        self.cancel = cancel
+        #: Work units consumed under this budget so far.
+        self.consumed = 0
+
+    def cancelled(self) -> bool:
+        """Whether the caller has flipped the cancellation flag."""
+        if self.cancel is None:
+            return False
+        probe = getattr(self.cancel, "is_set", self.cancel)
+        return bool(probe())
+
+    def exhausted(self) -> bool:
+        """Whether the next work unit may still be pulled."""
+        if self.cancelled():
+            return True
+        if self.max_batches is not None and self.consumed >= self.max_batches:
+            return True
+        if self.expires_at is not None and time.perf_counter() >= self.expires_at:
+            return True
+        return False
+
+
+class AnytimeQuery:
+    """One in-flight kSPR query that can be advanced, paused and resumed.
+
+    Built by :func:`stream_kspr` (or :meth:`repro.engine.Engine.query_stream`,
+    which additionally checkpoints paused instances for warm-started
+    re-issues).  Pulling snapshots::
+
+        query = stream_kspr(dataset, focal, k=3)
+        for snapshot in query.advance(deadline=0.25):
+            lo, hi = snapshot.impact_bracket()
+        if query.done:
+            exact = query.result()
+        else:
+            ...  # act on query.partial(), resume later with another advance()
+
+    The final :meth:`result` is byte-identical to the corresponding
+    all-at-once call (same regions, order, ranks, halfspaces, witnesses) no
+    matter how many pauses the query went through.
+    """
+
+    def __init__(
+        self,
+        context: QueryContext,
+        ticks: Iterator[StreamTick],
+        finalize_geometry: bool = True,
+    ) -> None:
+        self._context = context
+        self._ticks = ticks
+        self._finalize_geometry = finalize_geometry
+        self._reported: list[ReportedCell] = []
+        self._regions: list[PreferenceRegion] = []
+        self._tree = None
+        self._batches = 0
+        self._done = False
+        self._error: BaseException | None = None
+        self._result: KSPRResult | None = None
+        self._last: PartialKSPRResult | None = None
+        #: When the query last did work (construction counts: preparation
+        #: already ran); the gap until the next pull is *pause time*,
+        #: excluded from response-time accounting — including a pause taken
+        #: before any tick was consumed (e.g. a deadline=0 checkpoint).
+        self._idle_since: float | None = time.perf_counter()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """True once the terminal work unit has been consumed."""
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        """True when the underlying computation raised; the query is dead.
+
+        A failed query is neither resumable nor checkpointable — advancing it
+        again re-raises instead of silently returning a truncated answer.
+        """
+        return self._error is not None
+
+    @property
+    def context(self) -> QueryContext:
+        """The underlying query context (dataset snapshot, stats, tolerance)."""
+        return self._context
+
+    def partial(self) -> PartialKSPRResult:
+        """The most recent snapshot (an empty zero-progress one before any advance)."""
+        with self._lock:
+            if self._last is None:
+                self._last = self._snapshot(StreamTick())
+            return self._last
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def advance(
+        self,
+        *,
+        deadline: float | None = None,
+        max_batches: int | None = None,
+        cancel: threading.Event | Callable[[], bool] | None = None,
+    ) -> Iterator[PartialKSPRResult]:
+        """Pull work units under a budget, yielding one snapshot per unit.
+
+        Stops — leaving the query suspended and resumable — when the budget
+        is exhausted, the cancellation flag is set, or the query completes
+        (the last yielded snapshot then has ``done=True``).  Budget checks
+        happen between work units, so a deadline can overshoot by at most one
+        batch / chunk / shard commit.
+        """
+        budget = StreamBudget(deadline=deadline, max_batches=max_batches, cancel=cancel)
+        while not self._done and not budget.exhausted():
+            with self._lock:
+                if self._done:
+                    break
+                if self._error is not None:
+                    raise InvalidQueryError(
+                        f"the stream previously failed ({self._error!r}) and cannot resume"
+                    ) from self._error
+                if self._idle_since is not None:
+                    # Shift the response-time baseline past the pause so
+                    # elapsed/response seconds measure compute, not the time
+                    # the query sat suspended between advances.
+                    self._context.started_at += time.perf_counter() - self._idle_since
+                    self._idle_since = None
+                try:
+                    tick = next(self._ticks, None)
+                except BaseException as error:
+                    # The producer crashed: surface it now and on every later
+                    # advance — a dead stream must never look completed.
+                    self._error = error
+                    raise
+                if tick is None:
+                    self._error = InvalidQueryError(
+                        "the tick stream ended without its terminal work unit"
+                    )
+                    raise self._error
+                snapshot = self._consume(tick)
+                self._idle_since = time.perf_counter()
+            budget.consumed += 1
+            yield snapshot
+
+    def run(self) -> KSPRResult:
+        """Drain the stream to completion and return the exact result."""
+        for _ in self.advance():
+            pass
+        return self.result()
+
+    def result(self) -> KSPRResult:
+        """The complete :class:`KSPRResult`; raises until the query is done."""
+        with self._lock:
+            if not self._done:
+                raise InvalidQueryError(
+                    "query has not finished; advance() it to completion first"
+                )
+            if self._result is None:
+                self._result = build_result(
+                    self._context, self._reported, self._tree, self._finalize_geometry
+                )
+            return self._result
+
+    def close(self) -> None:
+        """Abandon the query, releasing producer resources (worker pools)."""
+        closer = getattr(self._ticks, "close", None)
+        if closer is not None:
+            closer()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _consume(self, tick: StreamTick) -> PartialKSPRResult:
+        context = self._context
+        for cell in tick.new_cells:
+            self._reported.append(cell)
+            self._regions.append(build_region(context, cell))
+        if tick.tree is not None:
+            self._tree = tick.tree
+        self._batches = max(self._batches, tick.batches)
+        self._done = tick.done
+        self._last = self._snapshot(tick)
+        return self._last
+
+    def _snapshot(self, tick: StreamTick) -> PartialKSPRResult:
+        context = self._context
+        return PartialKSPRResult(
+            context.focal,
+            context.k,
+            tuple(self._regions),
+            context.stats,
+            done=self._done,
+            batches=self._batches,
+            frontier=() if self._done else tick.frontier,
+            dimensionality=context.cell_dimensionality,
+            space=context.space,
+            tolerance=context.tolerance,
+            elapsed_seconds=time.perf_counter() - context.started_at,
+            processed_records=tick.processed,
+        )
+
+
+def stream_kspr(
+    dataset: Dataset | np.ndarray | Sequence[Sequence[float]],
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    method: str = "lpcta",
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    shard_factor: int | None = None,
+    prepared: PreparedQuery | None = None,
+    bounds_mode: BoundsMode | str = BoundsMode.FAST,
+    space: str = "transformed",
+    finalize_geometry: bool = True,
+    tolerance: Tolerance | float | None = None,
+    capture: bool = True,
+) -> AnytimeQuery:
+    """Open an anytime kSPR query (the streaming counterpart of :func:`repro.kspr`).
+
+    Accepts the same query triple and method names as :func:`repro.kspr` and
+    returns an :class:`AnytimeQuery` ready to be advanced under a budget.
+
+    ``workers > 1`` shards a ``"cta"`` query's CellTree expansion across
+    worker processes (:func:`repro.parallel.parallel_ticks`): per-shard
+    region streams are merged back in the deterministic depth-first order of
+    the seed tree, so snapshots — and the final result — are identical to the
+    serial stream.  ``chunk_size`` tunes the CTA tick granularity and
+    ``shard_factor`` the parallel over-partitioning; both keep their
+    subsystem defaults when ``None``.
+
+    ``capture=False`` skips the per-tick frontier freeze (an
+    O(active leaves × tree depth) copy): snapshots then report the trivial
+    ``impact_upper() == 1.0`` until completion, but pause/resume and region
+    streaming are unaffected — the right trade for consumers that never read
+    brackets, e.g. pure deadline-bounded serving.
+    """
+    if not isinstance(dataset, Dataset):
+        dataset = Dataset(np.asarray(dataset, dtype=float))
+    focal = validate_query(dataset, focal, k)
+    method_name, _ = resolve_method(method)
+
+    if method_name == "cta":
+        if workers is not None and workers > 1:
+            # Local import: repro.parallel imports the engine's batch module.
+            from ..parallel.subtree import DEFAULT_SHARD_FACTOR, parallel_ticks
+            from ..parallel.shards import resolve_workers
+
+            worker_count = resolve_workers(workers)
+            context = prepare_context(
+                dataset,
+                focal,
+                k,
+                algorithm=f"CTA[workers={worker_count}]",
+                space=space,
+                prepared=prepared,
+                tolerance=tolerance,
+            )
+            ticks = parallel_ticks(
+                context,
+                workers=worker_count,
+                shard_factor=DEFAULT_SHARD_FACTOR if shard_factor is None else shard_factor,
+                capture=capture,
+            )
+            return AnytimeQuery(context, ticks, finalize_geometry)
+        context = prepare_context(
+            dataset, focal, k, algorithm="CTA", space=space, prepared=prepared,
+            tolerance=tolerance,
+        )
+        return AnytimeQuery(
+            context, cta_ticks(context, chunk_size, capture=capture), finalize_geometry
+        )
+
+    if method_name == "pcta":
+        context = prepare_context(
+            dataset, focal, k, algorithm="P-CTA", prepared=prepared, tolerance=tolerance
+        )
+        return AnytimeQuery(
+            context, progressive_ticks(context, None, capture=capture), finalize_geometry
+        )
+
+    if method_name == "lpcta":
+        if isinstance(bounds_mode, str):
+            bounds_mode = BoundsMode(bounds_mode)
+        context = prepare_context(
+            dataset,
+            focal,
+            k,
+            algorithm=f"LP-CTA[{bounds_mode.value}]",
+            prepared=prepared,
+            tolerance=tolerance,
+        )
+        evaluator = None
+        if context.effective_k >= 1:
+            evaluator = TransformedBoundEvaluator(
+                tree=context.tree,
+                focal=context.focal,
+                dimensionality=context.cell_dimensionality,
+                counters=context.counters,
+                mode=bounds_mode,
+                tolerance=context.tolerance,
+            )
+        return AnytimeQuery(
+            context, progressive_ticks(context, evaluator, capture=capture), finalize_geometry
+        )
+
+    if method_name == "op_cta":
+        context = prepare_context(
+            dataset, focal, k, algorithm="OP-CTA", space="original", prepared=prepared,
+            tolerance=tolerance,
+        )
+        return AnytimeQuery(
+            context, progressive_ticks(context, None, capture=capture), finalize_geometry=False
+        )
+
+    if method_name == "olp_cta":
+        context = prepare_context(
+            dataset, focal, k, algorithm="OLP-CTA", space="original", prepared=prepared,
+            tolerance=tolerance,
+        )
+        evaluator = None
+        if context.effective_k >= 1:
+            evaluator = OriginalSpaceBoundEvaluator(
+                tree=context.tree,
+                focal=context.focal,
+                dimensionality=context.cell_dimensionality,
+                counters=context.counters,
+                tolerance=context.tolerance,
+            )
+        return AnytimeQuery(
+            context, progressive_ticks(context, evaluator, capture=capture), finalize_geometry=False
+        )
+
+    raise InvalidQueryError(f"method {method_name!r} has no streaming implementation")

@@ -33,7 +33,7 @@ import os
 import numpy as np
 import pytest
 
-from repro import Dataset, cta, lpcta, pcta, verify_result
+from repro import Dataset, cta, lpcta, pcta, stream_kspr, verify_result
 from repro.baselines import brute_force_kspr
 from repro.core.original_space import olp_cta, op_cta
 from repro.data import anticorrelated_dataset, correlated_dataset, independent_dataset
@@ -145,6 +145,47 @@ def test_all_methods_region_equivalent_to_brute_force(n, d, k, distribution, see
     serial = cta(dataset, focal, k)
     sharded = parallel_cta(dataset, focal, k, workers=2, shard_factor=2)
     assert_results_identical(sharded, serial)
+
+
+@pytest.mark.parametrize(
+    "n,d,k,distribution,seed",
+    _cases(),
+    ids=lambda value: str(value),
+)
+def test_deadline_truncated_then_resumed_matches_uninterrupted(n, d, k, distribution, seed):
+    """Anytime pause/resume is lossless: the resumed final answer is byte-identical.
+
+    Every progressive method is truncated after its first work unit (the
+    deterministic stand-in for a wall-clock deadline) and resumed to
+    completion; the final result must be structurally identical — same
+    regions, order, ranks, halfspaces, witnesses — to the uninterrupted
+    all-at-once call.  The ``REPRO_DIFF_SEEDS`` deep sweep extends this case
+    list exactly like the brute-force differential above.
+    """
+    dataset, focal, _ = _build_case(n, d, k, distribution, seed)
+    for name, method in {**TRANSFORMED_METHODS, **ORIGINAL_METHODS}.items():
+        uninterrupted = method(dataset, focal, k)
+        query = stream_kspr(dataset, focal, k, method=name)
+        truncated = list(query.advance(max_batches=1))
+        assert len(truncated) == 1
+        query.run()
+        assert_results_identical(query.result(), uninterrupted)
+
+
+@pytest.mark.parametrize(
+    "n,d,k,distribution,seed",
+    _cases()[::3],  # every 3rd case in tier-1; the deep sweep multiplies the list
+    ids=lambda value: str(value),
+)
+def test_sharded_truncated_then_resumed_matches_serial(n, d, k, distribution, seed):
+    """The workers=N stream, paused after its first shard commit and resumed,
+    still merges deterministically into the serial CTA answer."""
+    dataset, focal, _ = _build_case(n, d, k, distribution, seed)
+    serial = cta(dataset, focal, k)
+    query = stream_kspr(dataset, focal, k, method="cta", workers=2, shard_factor=2)
+    list(query.advance(max_batches=1))
+    query.run()
+    assert_results_identical(query.result(), serial)
 
 
 def test_deep_sweep_env_var_extends_the_case_list(monkeypatch):

@@ -162,6 +162,54 @@ class TestQueryStats:
         assert summary["response_seconds"] > 0.0
 
 
+class TestEmptyResultSemantics:
+    """Empty answers flow through the same code path as non-empty ones."""
+
+    def _empty_result(self):
+        from repro import KSPRResult
+
+        return KSPRResult(np.array([1.0, 2.0]), 2, [], QueryStats(algorithm="test"))
+
+    def test_empty_impact_probability_is_exactly_zero(self):
+        result = self._empty_result()
+        assert result.impact_probability() == 0.0
+        assert result.total_volume() == 0.0
+        assert result.is_empty
+
+    def test_empty_summary_routes_through_impact_probability(self):
+        summary = self._empty_result().summary()
+        assert summary["impact_probability"] == 0.0
+        assert summary["regions"] == 0.0
+        assert summary["volume"] == 0.0
+
+    def test_dominated_focal_produces_consistent_empty_summary(self):
+        dataset = independent_dataset(40, 3, seed=9)
+        focal = dataset.values.min(axis=0) * 0.5  # dominated by everything
+        result = lpcta(dataset, focal, 1)
+        assert result.is_empty
+        assert result.summary()["impact_probability"] == result.impact_probability() == 0.0
+
+    def test_empty_partial_result_semantics(self):
+        from repro import PartialKSPRResult
+
+        stats = QueryStats(algorithm="test")
+        in_flight = PartialKSPRResult(
+            np.array([1.0, 2.0]), 2, [], stats, done=False, batches=1, dimensionality=1
+        )
+        # Nothing certified yet: the lower bound is exactly zero, while the
+        # upper bound stays trivially sound (empty frontier capture here).
+        assert in_flight.impact_lower() == 0.0
+        assert in_flight.summary()["impact_lower"] == 0.0
+        done = PartialKSPRResult(
+            np.array([1.0, 2.0]), 2, [], stats, done=True, batches=1, dimensionality=1
+        )
+        assert done.impact_bracket() == (0.0, 0.0)
+        summary = done.summary()
+        assert summary["impact_lower"] == summary["impact_upper"] == 0.0
+        assert done.to_result().impact_probability() == 0.0
+        assert done.to_result().summary()["impact_probability"] == 0.0
+
+
 class TestProgressiveReporting:
     def test_early_reporting_happens_on_easy_instances(self):
         dataset, kyma = restaurant_example()
