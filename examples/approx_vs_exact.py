@@ -1,0 +1,107 @@
+"""Sampled vs exact impact probability, with confidence-interval bands.
+
+The exact kSPR algorithms compute the *precise* impact probability — at a
+cost that grows steeply with the dataset.  The sampling mode
+(``kspr(method="sample")`` / :func:`repro.approx.sample_kspr`) estimates the
+same number in near-linear time with a provable confidence interval.  This
+example runs both on the same queries and renders the sampled CI bands
+around the exact value as it shrinks with more samples, then cross-validates
+the sampler against the exact anytime stream.
+
+Run with:  PYTHONPATH=src python examples/approx_vs_exact.py
+
+Set ``REPRO_EXAMPLE_FAST=1`` (the CI smoke job does) for a smaller instance.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import kspr
+from repro.approx import cross_check_stream, required_samples, sample_kspr
+from repro.data import independent_dataset
+
+FAST = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+
+CARDINALITY = 400 if FAST else 2_000
+DIMENSIONALITY = 3
+K = 3
+SEED = 42
+
+#: Sample sizes for the shrinking-band table.
+LADDER = [200, 800, 3_200] if FAST else [200, 800, 3_200, 12_800]
+
+BAND_WIDTH = 60  # characters across the [0, 1] probability axis
+
+
+def band(lower: float, upper: float, exact: float) -> str:
+    """Render one ASCII confidence band with the exact value marked ``|``."""
+    cells = [" "] * BAND_WIDTH
+    lo = min(int(lower * (BAND_WIDTH - 1)), BAND_WIDTH - 1)
+    hi = min(int(upper * (BAND_WIDTH - 1)), BAND_WIDTH - 1)
+    for index in range(lo, hi + 1):
+        cells[index] = "="
+    cells[min(int(exact * (BAND_WIDTH - 1)), BAND_WIDTH - 1)] = "|"
+    return "".join(cells)
+
+
+def main() -> None:
+    dataset = independent_dataset(CARDINALITY, DIMENSIONALITY, seed=SEED)
+    best_row = int(dataset.values.sum(axis=1).argmax())
+    focal = dataset.values[best_row] * 0.97
+
+    exact_result = kspr(dataset, focal, K)
+    exact = exact_result.impact_probability()
+    print(
+        f"Exact impact over n={CARDINALITY}, d={DIMENSIONALITY}, k={K}: "
+        f"{exact:.4f} ({len(exact_result)} regions, "
+        f"{exact_result.stats.response_seconds:.2f}s)\n"
+    )
+
+    print(f"{'samples':>8}  {'estimate':>8}  {'95% CI':>18}  band (| = exact)")
+    for samples in LADDER:
+        approx = sample_kspr(dataset, focal, K, samples=samples, seed=SEED)
+        lower, upper = approx.confidence_interval()
+        print(
+            f"{samples:>8}  {approx.estimate:>8.4f}  "
+            f"[{lower:.4f}, {upper:.4f}]  {band(lower, upper, exact)}"
+        )
+
+    # The ``(epsilon, delta)`` contract: how many samples buy a +-0.02 answer?
+    epsilon, delta = 0.02, 0.05
+    print(
+        f"\nContract (epsilon={epsilon}, delta={delta}): "
+        f"{required_samples(epsilon, delta)} samples guarantee half-width "
+        f"<= {epsilon} at {1 - delta:.0%} confidence (Hoeffding)."
+    )
+    adaptive = sample_kspr(
+        dataset, focal, K, epsilon=epsilon, delta=delta, adaptive=True, seed=SEED
+    )
+    ratio = required_samples(epsilon, delta) / adaptive.samples
+    comparison = (
+        f"{ratio:.1f}x fewer than the worst-case plan"
+        if ratio >= 1.0
+        else "more than the worst-case plan — the impact sits near 0.5, "
+        "where the binomial variance peaks; adaptive stopping pays off on "
+        "skewed impacts"
+    )
+    print(
+        f"Adaptive mode reached half-width {adaptive.half_width():.4f} with "
+        f"{adaptive.samples} samples ({adaptive.looks} looks): {comparison}."
+    )
+
+    # Differential audit: the sampled interval must be consistent with the
+    # exact anytime brackets (probability >= 1 - delta).
+    report = cross_check_stream(
+        dataset, focal, K, epsilon=epsilon, delta=delta, seed=SEED
+    )
+    verdict = "agrees" if report.agrees else "DISAGREES"
+    print(
+        f"\nStream cross-check: sampled CI {report.interval} vs "
+        f"{len(report.brackets)} exact brackets -> {verdict}."
+    )
+    assert report.agrees, "sampler disagrees with the exact stream brackets"
+
+
+if __name__ == "__main__":
+    main()

@@ -11,9 +11,13 @@ price, room count and facilities, determine
   hotel's advertising should target.
 
 Run with:  python examples/hotel_market_analysis.py
+
+Set ``REPRO_EXAMPLE_FAST=1`` (the CI smoke job does) for a smaller market.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -24,6 +28,11 @@ from repro.experiments import select_focal
 
 ATTRIBUTES = ("stars", "price_value", "rooms", "facilities")
 
+#: Market size: a d=4, k=5 query over 600 hotels takes a couple of minutes
+#: of exact-geometry work — the full-fidelity default; the fast mode keeps
+#: the same scenario at smoke-test cost.
+CARDINALITY = 100 if os.environ.get("REPRO_EXAMPLE_FAST") else 600
+
 
 def price_sensitive_users(rng: np.random.Generator, count: int) -> np.ndarray:
     """A user population that weighs price twice as much as anything else."""
@@ -31,7 +40,7 @@ def price_sensitive_users(rng: np.random.Generator, count: int) -> np.ndarray:
 
 
 def main() -> None:
-    hotels = hotel_surrogate(cardinality=600, seed=20170514)
+    hotels = hotel_surrogate(cardinality=CARDINALITY, seed=20170514)
     focal = select_focal(hotels, policy="skyline-top", seed=3)
     print("Focal hotel attributes:", dict(zip(ATTRIBUTES, np.round(focal, 3))))
 

@@ -35,10 +35,14 @@ caches results, executes batches concurrently and supports incremental
 record insertion / deletion.  :func:`stream_kspr` (and
 ``Engine.query_stream``) answer a query as an *anytime stream* of partial
 results with provable impact brackets, deadline-aware pausing and lossless
-resume.  Baselines, workload generators, market-impact analysis and the
-full experiment harness live in the :mod:`repro.baselines`,
-:mod:`repro.data`, :mod:`repro.analysis` and :mod:`repro.experiments`
-subpackages.
+resume.  :func:`sample_kspr` (``kspr(method="sample")``,
+``Engine.query(approx=...)``) estimates the impact probability by seeded
+Monte Carlo sampling with Hoeffding / Clopper–Pearson confidence intervals
+at a requested ``(epsilon, delta)`` — the mode that opens dataset sizes the
+exact arrangement cannot reach.  Baselines, workload generators,
+market-impact analysis and the full experiment harness live in the
+:mod:`repro.baselines`, :mod:`repro.data`, :mod:`repro.analysis` and
+:mod:`repro.experiments` subpackages.
 """
 
 from .core import (
@@ -56,6 +60,7 @@ from .core import (
     rank_under_weights,
     verify_result,
 )
+from .approx import ApproxKSPRResult, ApproxSpec, cross_check_stream, sample_kspr
 from .engine import Engine, QueryBatch, Workload, generate_workload, replay
 from .parallel import ShardedExecutor, parallel_cta
 from .stream import AnytimeQuery, StreamBudget, stream_kspr
@@ -90,6 +95,10 @@ __all__ = [
     "AnytimeQuery",
     "StreamBudget",
     "PartialKSPRResult",
+    "ApproxKSPRResult",
+    "ApproxSpec",
+    "sample_kspr",
+    "cross_check_stream",
     "kspr",
     "cta",
     "pcta",

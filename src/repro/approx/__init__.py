@@ -1,0 +1,53 @@
+"""``repro.approx`` — sampling-based approximate kSPR with statistical guarantees.
+
+The exact algorithms of :mod:`repro.core` compute the full arrangement of
+preference regions, whose cost explodes with dimensionality and dataset
+size.  This subsystem trades the certified geometry for a Monte Carlo
+estimate of the *impact probability* with provable confidence intervals:
+
+* :mod:`repro.approx.sampler` — seeded, chunked, deterministic sampling of
+  the preference simplex (uniform and stratified designs; per-chunk
+  substreams make multi-process estimates bit-identical to serial ones);
+* :mod:`repro.approx.estimator` — :func:`sample_kspr`, the ``kspr()``-shaped
+  entry point (also reachable as ``kspr(method="sample")`` and
+  ``Engine.query(approx=...)``), classifying samples with the exact
+  pipeline's dominance machinery; :class:`ApproxSpec`, the declarative
+  accuracy contract;
+* :mod:`repro.approx.result` — :class:`ApproxKSPRResult` with Hoeffding and
+  Clopper–Pearson intervals at a requested ``(epsilon, delta)``, plus the
+  sample-size planner :func:`required_samples`;
+* :mod:`repro.approx.bridge` — :func:`cross_check_stream`, the differential
+  harness validating sampled intervals against the exact anytime brackets
+  of :mod:`repro.stream`.
+"""
+
+from .bridge import CrossCheckReport, cross_check_stream
+from .estimator import ApproxSpec, classify_hits, sample_kspr
+from .result import (
+    ApproxKSPRResult,
+    clopper_pearson_bounds,
+    hoeffding_half_width,
+    required_samples,
+)
+from .sampler import (
+    DEFAULT_CHUNK,
+    SAMPLING_MODES,
+    sample_chunk,
+    sample_preference_weights,
+)
+
+__all__ = [
+    "ApproxKSPRResult",
+    "ApproxSpec",
+    "CrossCheckReport",
+    "DEFAULT_CHUNK",
+    "SAMPLING_MODES",
+    "classify_hits",
+    "clopper_pearson_bounds",
+    "cross_check_stream",
+    "hoeffding_half_width",
+    "required_samples",
+    "sample_chunk",
+    "sample_kspr",
+    "sample_preference_weights",
+]

@@ -1,0 +1,182 @@
+"""Cross-validation of sampled estimates against exact anytime brackets.
+
+The exact streaming path (:func:`repro.stream.stream_kspr`) and the sampling
+path (:func:`repro.approx.sample_kspr`) bound the same quantity — the impact
+probability — through entirely disjoint machinery: the stream's
+``[impact_lower, impact_upper]`` brackets are *certain* (certified region
+volume vs. frozen frontier volume, Lemma 5), while the sampler's confidence
+interval is *probabilistic* (coverage ``1 - delta``).  Since the true impact
+lies inside every stream bracket with certainty and inside the sampled
+interval with probability at least ``1 - delta``, **every bracket must
+intersect the interval** with that same probability — a differential
+consistency check that needs no ground truth and catches a bug in either
+subsystem.
+
+:func:`cross_check_stream` runs both paths on one query and reports the
+verdict; the statistical test-suite and ``examples/approx_vs_exact.py``
+drive it, and a serving deployment can use it as a cheap online audit of the
+sampling mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..records import Dataset
+from ..robust import Tolerance
+from .estimator import sample_kspr
+from .result import ApproxKSPRResult
+
+__all__ = ["CrossCheckReport", "cross_check_stream"]
+
+
+@dataclass
+class CrossCheckReport:
+    """Outcome of one stream-vs-sample differential run.
+
+    Attributes
+    ----------
+    approx:
+        The sampled estimate that was checked.
+    interval:
+        Its ``(lower, upper)`` confidence interval (Clopper–Pearson).
+    brackets:
+        Every ``(impact_lower, impact_upper)`` bracket the exact stream
+        yielded, in snapshot order.
+    exact:
+        The exact impact probability, when the stream ran to completion
+        (``None`` for budget-truncated streams).
+    disjoint_brackets:
+        Indices of stream brackets that do **not** intersect the sampled
+        interval — each one is a ``1 - delta``-probability event if both
+        subsystems are correct.
+    """
+
+    approx: ApproxKSPRResult
+    interval: tuple[float, float]
+    brackets: list[tuple[float, float]] = field(default_factory=list)
+    exact: float | None = None
+    disjoint_brackets: list[int] = field(default_factory=list)
+
+    @property
+    def agrees(self) -> bool:
+        """True when every bracket intersects the interval (and the exact
+        impact, if known, lies inside it)."""
+        if self.disjoint_brackets:
+            return False
+        if self.exact is not None:
+            lower, upper = self.interval
+            return lower <= self.exact <= upper
+        return True
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary for harness logs and benchmark JSON."""
+        lower, upper = self.interval
+        return {
+            "agrees": float(self.agrees),
+            "estimate": self.approx.estimate,
+            "ci_lower": lower,
+            "ci_upper": upper,
+            "snapshots": float(len(self.brackets)),
+            "disjoint_brackets": float(len(self.disjoint_brackets)),
+            "exact": float("nan") if self.exact is None else self.exact,
+            "samples": float(self.approx.samples),
+        }
+
+
+def cross_check_stream(
+    dataset: Dataset | np.ndarray | Sequence[Sequence[float]],
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    *,
+    method: str = "lpcta",
+    epsilon: float = 0.02,
+    delta: float = 0.05,
+    samples: int | None = None,
+    mode: str = "uniform",
+    seed: int = 0,
+    adaptive: bool = False,
+    deadline: float | None = None,
+    max_batches: int | None = None,
+    workers: int | None = None,
+    tolerance: Tolerance | float | None = None,
+) -> CrossCheckReport:
+    """Run the exact stream and the sampler on one query and compare them.
+
+    Parameters
+    ----------
+    dataset, focal, k:
+        The query triple (same contract as :func:`repro.kspr`).
+    method:
+        Exact streaming method to check against (default ``"lpcta"``).
+    epsilon, delta, samples, mode, seed, adaptive:
+        Sampling contract, forwarded to :func:`repro.approx.sample_kspr`.
+    deadline, max_batches:
+        Optional budget for the exact stream; a truncated stream still
+        yields brackets to check, it just leaves :attr:`CrossCheckReport.exact`
+        unset.
+    workers:
+        Worker processes for the sampling side.
+    tolerance:
+        Numerical policy for both sides.
+
+    Returns
+    -------
+    CrossCheckReport
+        Brackets, interval, and the agreement verdict.
+
+    Notes
+    -----
+    A ``False`` :attr:`~CrossCheckReport.agrees` on a single run is evidence,
+    not proof, of a bug — it happens with probability up to ``delta`` even
+    when everything is correct.  The test harness therefore aggregates over
+    many seeds and checks the *rate* of disagreement against ``delta``.
+    """
+    from ..stream.anytime import stream_kspr  # local import: approx <-> stream
+
+    if not isinstance(dataset, Dataset):
+        dataset = Dataset(np.asarray(dataset, dtype=float))
+    # warn=False: stream_kspr below validates (and warns about) the same
+    # query — one logical query must not warn twice.
+    approx = sample_kspr(
+        dataset,
+        focal,
+        k,
+        epsilon=epsilon,
+        delta=delta,
+        samples=samples,
+        mode=mode,
+        seed=seed,
+        adaptive=adaptive,
+        workers=workers,
+        tolerance=tolerance,
+        warn=False,
+    )
+    interval = approx.confidence_interval()
+
+    query = stream_kspr(dataset, focal, k, method=method, tolerance=tolerance)
+    brackets: list[tuple[float, float]] = []
+    exact = None
+    for snapshot in query.advance(deadline=deadline, max_batches=max_batches):
+        brackets.append(snapshot.impact_bracket())
+    if query.done:
+        exact = query.result().impact_probability()
+    else:
+        query.close()
+
+    lower, upper = interval
+    disjoint = [
+        index
+        for index, (blo, bhi) in enumerate(brackets)
+        if max(lower, blo) > min(upper, bhi)
+    ]
+    return CrossCheckReport(
+        approx=approx,
+        interval=interval,
+        brackets=brackets,
+        exact=exact,
+        disjoint_brackets=disjoint,
+    )

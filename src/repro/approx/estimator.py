@@ -1,0 +1,543 @@
+"""The sampling-based approximate kSPR estimator.
+
+:func:`sample_kspr` is the ``kspr()``-shaped entry point of the approximate
+mode: instead of computing the exact arrangement of preference regions, it
+draws seeded weight vectors from the preference simplex
+(:mod:`repro.approx.sampler`), classifies each one with the same dominance
+machinery the exact algorithms build on (Lemma 1: the focal record is in the
+top-``k`` at ``w`` iff fewer than ``k`` records out-score it), and returns an
+:class:`~repro.approx.result.ApproxKSPRResult` carrying the estimate and its
+confidence intervals.
+
+Classification reuses the focal partition of the exact pipeline:
+
+* records *dominating* the focal record out-score it everywhere — they
+  contribute a constant ``D`` to the rank;
+* records *dominated by* (or equal to) the focal record never out-score it —
+  they are skipped entirely;
+* only the *competitors* need a per-sample score comparison, computed as a
+  blocked matrix product (``competitors @ weights.T``) so a 100k-record
+  dataset classifies thousands of samples per second.
+
+The competitor set may further be pruned to the k-skyband (what
+:class:`repro.engine.Engine` hands over as prepared state): by the transitive
+argument behind the paper's Lemma 6, a competitor with ``>= k`` dominators can
+only out-score the focal record at weight vectors where its own dominators
+already do — the top-``k`` indicator is unchanged by dropping it.
+
+Accuracy contract
+-----------------
+With ``samples`` drawn, the Hoeffding interval has guaranteed coverage
+``1 - delta`` for any true impact probability; the non-adaptive mode sizes
+the draw with :func:`~repro.approx.result.required_samples` so the half-width
+provably reaches the requested ``epsilon``.  The ``adaptive=True`` mode
+instead draws chunk rounds until the (typically much tighter)
+Clopper–Pearson interval reaches ``epsilon``, spending its failure budget
+across looks with a union bound (look ``j`` is evaluated at ``delta / 2^j``)
+so the guarantee survives the data-dependent stopping time.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.base import PreparedQuery
+from ..core.result import QueryStats
+from ..exceptions import InvalidQueryError
+from ..records import Dataset, FocalPartition
+from ..robust import Tolerance, resolve_tolerance, validate_approx_params
+from ..robust.validation import validate_query_inputs
+from .result import ApproxKSPRResult, clopper_pearson_bounds, required_samples
+from .sampler import DEFAULT_CHUNK, chunk_sizes, sample_chunk
+
+__all__ = ["ApproxSpec", "sample_kspr", "classify_hits"]
+
+#: Competitor rows per matmul block: bounds the transient score matrix to
+#: ``block x chunk`` doubles (a few MiB) regardless of dataset size.
+COMPETITOR_BLOCK = 4096
+
+#: Hard ceiling of the adaptive mode, as a multiple of the Hoeffding-planned
+#: sample size — the rule terminates even when the Clopper–Pearson width
+#: stalls just above ``epsilon`` (check ``result.meets()`` at the cap).
+ADAPTIVE_CAP_FACTOR = 8
+
+
+@dataclass(frozen=True)
+class ApproxSpec:
+    """Declarative accuracy contract for an approximate query.
+
+    The engine-facing way to request sampling
+    (``Engine.query(focal, k, approx=ApproxSpec(epsilon=0.01))``); every
+    field maps onto the keyword of the same name of :func:`sample_kspr`.
+
+    Parameters
+    ----------
+    epsilon:
+        Target half-width of the confidence interval (additive error).
+    delta:
+        Failure probability of the interval (confidence is ``1 - delta``).
+    samples:
+        Explicit sample count; ``None`` (default) lets the estimator size
+        the draw from ``(epsilon, delta)``.
+    mode:
+        ``"uniform"`` (default) or ``"stratified"`` sampling design.
+    seed:
+        Stream seed for deterministic, reproducible estimates.
+    adaptive:
+        Draw until the Clopper–Pearson width meets ``epsilon`` instead of
+        pre-sizing with Hoeffding.
+    chunk:
+        Chunk size of the seeded substreams.
+    max_samples:
+        Hard cap for the adaptive mode; ``None`` (default) derives it from
+        ``(epsilon, delta)``.
+    """
+
+    epsilon: float = 0.02
+    delta: float = 0.05
+    samples: int | None = None
+    mode: str = "uniform"
+    seed: int = 0
+    adaptive: bool = False
+    chunk: int = DEFAULT_CHUNK
+    max_samples: int | None = None
+
+    @classmethod
+    def coerce(cls, value: "ApproxSpec | dict | bool | float") -> "ApproxSpec":
+        """Normalise the accepted ``approx=`` spellings into a spec.
+
+        ``True`` means all defaults, a float means ``epsilon=value``, a dict
+        supplies fields by name, and a spec passes through unchanged.
+
+        Raises
+        ------
+        InvalidQueryError
+            For an unsupported value type (including ``False`` — pass
+            ``approx=None`` to run an exact query).
+        """
+        if isinstance(value, cls):
+            return value
+        if value is True:
+            return cls()
+        if isinstance(value, dict):
+            unknown = set(value) - set(cls.__dataclass_fields__)
+            if unknown:
+                raise InvalidQueryError(
+                    f"unknown approx spec field(s) {sorted(unknown)}; valid fields: "
+                    f"{sorted(cls.__dataclass_fields__)}"
+                )
+            return cls(**value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cls(epsilon=float(value))
+        raise InvalidQueryError(
+            f"approx must be an ApproxSpec, a dict of its fields, True, or an "
+            f"epsilon value; got {value!r}"
+        )
+
+    def as_options(self) -> dict:
+        """The spec as :func:`sample_kspr` keyword options (cache-key ready)."""
+        return {
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "samples": self.samples,
+            "mode": self.mode,
+            "seed": self.seed,
+            "adaptive": self.adaptive,
+            "chunk": self.chunk,
+            "max_samples": self.max_samples,
+        }
+
+
+def classify_hits(
+    competitors: np.ndarray,
+    focal: np.ndarray,
+    k_effective: int,
+    weights: np.ndarray,
+) -> int:
+    """Count the weight vectors placing the focal record in the top-``k``.
+
+    Parameters
+    ----------
+    competitors:
+        ``(n_c, d)`` competitor attribute matrix (dominators and dominated
+        records already removed).
+    focal:
+        The focal record, length ``d``.
+    k_effective:
+        ``k - dominators``: the focal record is a hit at ``w`` iff *fewer
+        than* ``k_effective`` competitors out-score it there.  Non-positive
+        values short-circuit to zero hits.
+    weights:
+        ``(m, d)`` sampled weight vectors.
+
+    Returns
+    -------
+    int
+        Number of rows of ``weights`` at which the focal record ranks
+        ``<= k``.
+
+    Notes
+    -----
+    Score comparisons are strict (``>``): a competitor tying the focal
+    record's score does not beat it, matching
+    :func:`repro.core.verify.rank_under_weights`.  Exact ties occur only on
+    the measure-zero cell boundaries, which continuous sampling hits with
+    probability zero.
+    """
+    if k_effective < 1:
+        return 0
+    count = weights.shape[0]
+    if count == 0:
+        return 0
+    if competitors.shape[0] == 0:
+        return count
+    focal_scores = weights @ focal
+    beating = np.zeros(count, dtype=np.int64)
+    for start in range(0, competitors.shape[0], COMPETITOR_BLOCK):
+        block = competitors[start : start + COMPETITOR_BLOCK]
+        beating += np.count_nonzero(block @ weights.T > focal_scores[None, :], axis=0)
+    return int(np.count_nonzero(beating < k_effective))
+
+
+# --------------------------------------------------------------------------- #
+# worker-process plumbing (chunk substreams make the merge deterministic)
+# --------------------------------------------------------------------------- #
+_WORKER_STATE: dict = {}
+
+
+def _init_chunk_worker(
+    competitors: np.ndarray,
+    focal: np.ndarray,
+    k_effective: int,
+    dimensionality: int,
+    seed: int,
+    mode: str,
+) -> None:
+    """Install the shared classification inputs in a worker process."""
+    _WORKER_STATE["competitors"] = competitors
+    _WORKER_STATE["focal"] = focal
+    _WORKER_STATE["k_effective"] = k_effective
+    _WORKER_STATE["dimensionality"] = dimensionality
+    _WORKER_STATE["seed"] = seed
+    _WORKER_STATE["mode"] = mode
+
+
+def _classify_chunk_task(task: tuple[int, int]) -> tuple[int, int]:
+    """Worker entry point: draw chunk ``index`` and classify it.
+
+    Returns ``(index, hits)``; because chunk draws depend only on
+    ``(seed, index)``, summing hits over any assignment of chunks to workers
+    reproduces the serial estimate exactly.
+    """
+    index, size = task
+    weights = sample_chunk(
+        _WORKER_STATE["dimensionality"],
+        size,
+        _WORKER_STATE["seed"],
+        index,
+        _WORKER_STATE["mode"],
+    )
+    hits = classify_hits(
+        _WORKER_STATE["competitors"],
+        _WORKER_STATE["focal"],
+        _WORKER_STATE["k_effective"],
+        weights,
+    )
+    return index, hits
+
+
+class _ConstantClassifier:
+    """Stand-in classifier for queries whose indicator is constant.
+
+    With ``>= k`` dominators (every sample misses) or an empty competitor
+    set (every sample hits), drawing weight vectors is pure waste: this
+    classifier returns the hit counts a real draw would deterministically
+    produce, without materializing a single sample — so the fixed *and*
+    adaptive paths report exactly the sample counts, looks and delta
+    spending of the equivalent sampled run.
+    """
+
+    def __init__(self, value: int) -> None:
+        self._value = int(value)
+
+    def hits(self, tasks: Sequence[tuple[int, int]]) -> int:
+        return self._value * sum(size for _, size in tasks)
+
+    def close(self) -> None:
+        """Nothing to release (no pool was ever created)."""
+
+
+class _ChunkClassifier:
+    """Serial or multi-process evaluation of chunk hit counts."""
+
+    def __init__(
+        self,
+        competitors: np.ndarray,
+        focal: np.ndarray,
+        k_effective: int,
+        dimensionality: int,
+        seed: int,
+        mode: str,
+        workers: int | None,
+    ) -> None:
+        self._competitors = competitors
+        self._focal = focal
+        self._k_effective = k_effective
+        self._dimensionality = dimensionality
+        self._seed = seed
+        self._mode = mode
+        self._pool: ProcessPoolExecutor | None = None
+        if workers is not None and workers > 1:
+            self._pool = ProcessPoolExecutor(
+                max_workers=int(workers),
+                initializer=_init_chunk_worker,
+                initargs=(competitors, focal, k_effective, dimensionality, seed, mode),
+            )
+
+    def hits(self, tasks: Sequence[tuple[int, int]]) -> int:
+        """Total hits over ``(chunk index, size)`` tasks (order-independent)."""
+        if self._pool is not None:
+            return sum(hits for _, hits in self._pool.map(_classify_chunk_task, tasks))
+        total = 0
+        for index, size in tasks:
+            weights = sample_chunk(self._dimensionality, size, self._seed, index, self._mode)
+            total += classify_hits(self._competitors, self._focal, self._k_effective, weights)
+        return total
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def sample_kspr(
+    dataset: Dataset | np.ndarray | Sequence[Sequence[float]],
+    focal: np.ndarray | Sequence[float],
+    k: int,
+    *,
+    epsilon: float = 0.02,
+    delta: float = 0.05,
+    samples: int | None = None,
+    mode: str = "uniform",
+    seed: int = 0,
+    adaptive: bool = False,
+    chunk: int = DEFAULT_CHUNK,
+    max_samples: int | None = None,
+    workers: int | None = None,
+    prepared: PreparedQuery | None = None,
+    tolerance: Tolerance | float | None = None,
+    warn: bool = True,
+    space: str | None = None,
+) -> ApproxKSPRResult:
+    """Estimate a kSPR query's impact probability by Monte Carlo sampling.
+
+    The approximate counterpart of :func:`repro.kspr` — reachable as
+    ``kspr(..., method="sample")`` — trading the certified region geometry
+    of the exact methods for orders-of-magnitude cheaper estimates with
+    provable confidence intervals, which is what opens the large-``n`` /
+    high-``d`` workloads the exact arrangement cannot reach.
+
+    Parameters
+    ----------
+    dataset:
+        The competing options (:class:`~repro.records.Dataset` or raw
+        ``(n, d)`` array-like).
+    focal:
+        The focal record whose impact is estimated.
+    k:
+        Shortlist size.
+    epsilon:
+        Target half-width of the confidence interval, in ``(0, 1)``.
+    delta:
+        Failure probability of the interval, in ``(0, 1)``; the reported
+        interval covers the true impact with probability ``>= 1 - delta``.
+    samples:
+        Explicit sample count.  Default ``None`` sizes the draw as
+        :func:`~repro.approx.result.required_samples` ``(epsilon, delta)``
+        — the Hoeffding guarantee.  Mutually exclusive with ``adaptive``
+        (the combination is rejected at admission).
+    mode:
+        ``"uniform"`` (default) or ``"stratified"`` sampling design (see
+        :mod:`repro.approx.sampler`).
+    seed:
+        Stream seed.  Estimates are a pure function of ``(dataset, focal,
+        k, epsilon, delta, samples, mode, seed, chunk)`` — worker count
+        included *out*.
+    adaptive:
+        Draw chunk rounds until the Clopper–Pearson half-width reaches
+        ``epsilon`` (union-bound delta spending across looks), typically
+        needing far fewer samples than the Hoeffding plan when the true
+        impact is near 0 or 1.
+    chunk:
+        Samples per seeded chunk (the unit of determinism, dispatch and
+        adaptive stopping).
+    max_samples:
+        Hard cap for the adaptive mode; default
+        ``ADAPTIVE_CAP_FACTOR * required_samples(epsilon, delta)``.
+    workers:
+        Spread chunk classification over this many worker processes; the
+        estimate is identical for every worker count.
+    prepared:
+        Prepared per-focal state from a serving layer (the focal partition
+        is reused; its competitor set may be k-skyband pruned — sound for
+        the top-``k`` indicator).
+    tolerance:
+        Numerical policy recorded on the result (cache-key parity with the
+        exact methods).
+    warn:
+        Whether validation may emit :class:`DegenerateInputWarning` (high
+        dimensionality).  Dispatching callers that already validated the
+        query — ``kspr()``, the engine, the sharded executor — pass
+        ``False`` so one query never warns twice.
+    space:
+        Not supported: the sampler draws original-space weight vectors and
+        its estimate is space-independent.  Accepted only so the shared
+        dispatch surfaces can reject an explicit ``space`` option with
+        :class:`InvalidQueryError` instead of a ``TypeError``.
+
+    Returns
+    -------
+    ApproxKSPRResult
+        Point estimate, Hoeffding and Clopper–Pearson intervals, and query
+        statistics.
+
+    Raises
+    ------
+    InvalidQueryError
+        For malformed query inputs (same contract as :func:`repro.kspr`)
+        or invalid ``epsilon`` / ``delta`` / ``samples`` / ``mode`` /
+        ``chunk`` values.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import Dataset
+    >>> from repro.approx import sample_kspr
+    >>> data = Dataset(np.array([[3, 8, 8], [9, 4, 4], [8, 3, 4], [4, 3, 6]]))
+    >>> result = sample_kspr(data, focal=[5, 5, 7], k=3, samples=2000, seed=7)
+    >>> lower, upper = result.confidence_interval()
+    >>> bool(lower <= result.estimate <= upper)
+    True
+    """
+    if space is not None:
+        raise InvalidQueryError(
+            "method='sample' does not support a 'space' option: the sampler "
+            "draws original-space weight vectors and its estimate is "
+            "space-independent"
+        )
+    if epsilon is None or delta is None:
+        raise InvalidQueryError(
+            "epsilon and delta must be numbers strictly between 0 and 1; "
+            "got None — omit them to use the defaults"
+        )
+    if not isinstance(dataset, Dataset):
+        dataset = Dataset(np.asarray(dataset, dtype=float))
+    focal_array = validate_query_inputs(dataset, focal, k, warn=warn)
+    validate_approx_params(
+        epsilon=epsilon, delta=delta, samples=samples, mode=mode, chunk=chunk,
+        seed=seed, adaptive=adaptive, max_samples=max_samples,
+    )
+    policy = None if tolerance is None else resolve_tolerance(tolerance)
+
+    started = time.perf_counter()
+    partition: FocalPartition = (
+        prepared.partition if prepared is not None else dataset.partition_by_focal(focal_array)
+    )
+    competitors = np.ascontiguousarray(partition.competitors.values, dtype=float)
+    k_effective = partition.effective_k(int(k))
+    dimensionality = dataset.dimensionality
+
+    planned = required_samples(epsilon, delta) if samples is None else int(samples)
+    cap = (
+        int(max_samples)
+        if max_samples is not None
+        else ADAPTIVE_CAP_FACTOR * required_samples(epsilon, delta)
+    )
+
+    if k_effective < 1 or competitors.shape[0] == 0:
+        classifier = _ConstantClassifier(0 if k_effective < 1 else 1)
+    else:
+        classifier = _ChunkClassifier(
+            competitors, focal_array, k_effective, dimensionality, int(seed), mode, workers
+        )
+    try:
+        if adaptive:
+            hits, total, looks, ci_delta = _run_adaptive(
+                classifier, epsilon, delta, chunk, cap
+            )
+        else:
+            sizes = chunk_sizes(planned, chunk)
+            hits = classifier.hits(list(enumerate(sizes)))
+            total, looks, ci_delta = planned, 1, delta
+    finally:
+        classifier.close()
+
+    elapsed = time.perf_counter() - started
+    stats = QueryStats(
+        algorithm=f"SAMPLE[{mode}]",
+        processed_records=int(competitors.shape[0]),
+        competitor_records=int(competitors.shape[0]),
+        dominator_records=int(partition.dominators),
+        batches=len(chunk_sizes(total, chunk)),
+        response_seconds=elapsed,
+    )
+    stats.add_phase("sampling", elapsed)
+    return ApproxKSPRResult(
+        focal_array,
+        int(k),
+        total,
+        hits,
+        epsilon=epsilon,
+        delta=delta,
+        mode=mode,
+        seed=int(seed),
+        chunk=int(chunk),
+        adaptive=bool(adaptive),
+        looks=looks,
+        ci_delta=ci_delta,
+        stats=stats,
+        tolerance=policy,
+    )
+
+
+def _run_adaptive(
+    classifier: "_ChunkClassifier | _ConstantClassifier",
+    epsilon: float,
+    delta: float,
+    chunk: int,
+    cap: int,
+) -> tuple[int, int, int, float]:
+    """Chunk-doubling adaptive loop with union-bound delta spending.
+
+    Look ``j`` (1-based) evaluates the Clopper–Pearson interval at
+    ``delta / 2^j``; the budgets sum to at most ``delta`` over infinitely
+    many looks, so "true impact inside the interval at the stopping look"
+    holds with probability at least ``1 - delta`` despite the data-dependent
+    stopping time.  Between looks the draw doubles (rounded to whole
+    chunks), capped at ``cap`` total samples.
+
+    Returns ``(hits, total samples, looks, delta spent at the final look)``.
+    """
+    hits = 0
+    total = 0
+    next_index = 0
+    look = 0
+    target = chunk
+    while True:
+        look += 1
+        grow = min(max(target - total, chunk), max(cap - total, 0))
+        sizes = chunk_sizes(grow, chunk)
+        tasks = [(next_index + offset, size) for offset, size in enumerate(sizes)]
+        next_index += len(sizes)
+        hits += classifier.hits(tasks)
+        total += grow
+        look_delta = delta / (2.0**look)
+        lower, upper = clopper_pearson_bounds(hits, total, look_delta)
+        if (upper - lower) / 2.0 <= epsilon or total >= cap:
+            return hits, total, look, look_delta
+        target = total * 2

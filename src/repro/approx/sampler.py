@@ -1,0 +1,216 @@
+"""Seeded Monte Carlo sampling of the preference simplex.
+
+The approximate kSPR mode estimates the impact probability — the fraction of
+the preference simplex where the focal record ranks in the top-``k`` — by
+classifying sampled weight vectors instead of computing the exact region
+geometry.  This module is the sampling half of that pipeline; the
+classification half lives in :mod:`repro.approx.estimator`.
+
+Two sampling designs are provided, both unbiased for the impact probability:
+
+* ``"uniform"`` — independent draws, uniform over the simplex.  Produced by
+  the sequential stick-breaking construction: ``w_1 ~ Beta(1, d - 1)`` via
+  the inverse-CDF map ``w_1 = 1 - u^(1/(d-1))``, then recursively on the
+  remaining sub-simplex.  Equivalent in distribution to the Dirichlet
+  (all-ones) construction, but a *smooth, deterministic map from the unit
+  cube* — which is what makes the stratified design possible.
+* ``"stratified"`` — the first cube coordinate (which controls ``w_1``) is
+  stratified: sample ``i`` of a chunk of size ``m`` draws it uniformly from
+  ``[i/m, (i+1)/m)``.  Samples stay *independent* (each stratum is an
+  independent jittered draw, remaining coordinates are i.i.d. uniform), so
+  the Hoeffding bound of :mod:`repro.approx.result` remains valid verbatim,
+  while the variance of the estimate can only shrink (classic
+  proportional-allocation stratification).
+
+Determinism and parallel substreams
+-----------------------------------
+Samples are produced in fixed-size *chunks*.  Chunk ``j`` draws from its own
+:class:`numpy.random.SeedSequence` child (``SeedSequence(seed,
+spawn_key=(j,))``), so the stream of chunk ``j`` depends only on ``(seed,
+j)`` — never on which worker produced it or how many chunks preceded it.
+Splitting chunks across worker processes and merging their hit counts in
+chunk order therefore reproduces the serial estimate *bit-for-bit*, for any
+worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidQueryError
+from ..robust.validation import SAMPLING_MODES
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "SAMPLING_MODES",
+    "chunk_rng",
+    "chunk_sizes",
+    "sample_chunk",
+    "sample_preference_weights",
+]
+
+#: Default number of weight vectors per chunk.  Chunks are the unit of
+#: determinism (each has its own seeded substream), of parallel dispatch and
+#: of the adaptive mode's stopping checks.
+DEFAULT_CHUNK = 1024
+
+
+def chunk_rng(seed: int, index: int) -> np.random.Generator:
+    """Independent generator for chunk ``index`` of the stream seeded by ``seed``.
+
+    Built from ``SeedSequence(seed, spawn_key=(index,))``, the documented
+    numpy mechanism for parallel substreams: children with different spawn
+    keys are statistically independent, and the child for a given
+    ``(seed, index)`` pair is reproducible forever.
+
+    Parameters
+    ----------
+    seed:
+        The user-facing seed of the whole sampling run.
+    index:
+        Zero-based chunk index.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A fresh generator positioned at the start of the chunk's substream.
+    """
+    return np.random.default_rng(np.random.SeedSequence(int(seed), spawn_key=(int(index),)))
+
+
+def _cube_to_simplex(uniforms: np.ndarray) -> np.ndarray:
+    """Map points of the unit cube ``[0, 1)^(d-1)`` onto the ``d``-simplex.
+
+    Sequential stick breaking: coordinate ``j`` converts its uniform into
+    ``Beta(1, d - 1 - j)`` via the inverse CDF and takes that fraction of the
+    remaining mass.  For i.i.d. uniform input the output is exactly uniform
+    (Dirichlet with all-ones parameters) over the open simplex.
+    """
+    count, reduced = uniforms.shape
+    dimensionality = reduced + 1
+    weights = np.empty((count, dimensionality), dtype=float)
+    remaining = np.ones(count, dtype=float)
+    for j in range(reduced):
+        fraction = 1.0 - uniforms[:, j] ** (1.0 / (dimensionality - 1 - j))
+        weights[:, j] = remaining * fraction
+        remaining = remaining * (1.0 - fraction)
+    weights[:, reduced] = remaining
+    return weights
+
+
+def sample_chunk(
+    dimensionality: int,
+    count: int,
+    seed: int,
+    index: int,
+    mode: str = "uniform",
+) -> np.ndarray:
+    """Draw one deterministic chunk of weight vectors.
+
+    Parameters
+    ----------
+    dimensionality:
+        Number of data attributes ``d``; vectors have ``d`` nonnegative
+        entries summing to one (original preference space).
+    count:
+        Number of vectors in this chunk.
+    seed:
+        Stream seed; together with ``index`` it fully determines the draws.
+    index:
+        Chunk index within the stream (selects the seeded substream).
+    mode:
+        ``"uniform"`` or ``"stratified"`` (see the module docstring).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(count, dimensionality)``.
+
+    Raises
+    ------
+    InvalidQueryError
+        For ``dimensionality < 2``, a negative ``count`` or an unknown
+        ``mode``.
+    """
+    if dimensionality < 2:
+        raise InvalidQueryError("need at least two dimensions to sample weights")
+    if count < 0:
+        raise InvalidQueryError("chunk sample count must be non-negative")
+    if mode not in SAMPLING_MODES:
+        raise InvalidQueryError(
+            f"unknown sampling mode {mode!r}; expected one of {', '.join(SAMPLING_MODES)}"
+        )
+    rng = chunk_rng(seed, index)
+    uniforms = rng.random((count, dimensionality - 1))
+    if mode == "stratified" and count > 0:
+        uniforms[:, 0] = (np.arange(count, dtype=float) + uniforms[:, 0]) / count
+    return _cube_to_simplex(uniforms)
+
+
+def chunk_sizes(total: int, chunk: int) -> list[int]:
+    """Split ``total`` samples into chunk sizes (all ``chunk`` except the last).
+
+    The split is part of the determinism contract: the draws of chunk ``j``
+    depend on its size, so every consumer (serial, adaptive, multi-process)
+    must use this one partition.
+    """
+    if total < 0:
+        raise InvalidQueryError("total sample count must be non-negative")
+    if chunk < 1:
+        raise InvalidQueryError("chunk size must be a positive integer")
+    sizes = [chunk] * (total // chunk)
+    if total % chunk:
+        sizes.append(total % chunk)
+    return sizes
+
+
+def sample_preference_weights(
+    dimensionality: int,
+    count: int,
+    *,
+    seed: int = 0,
+    mode: str = "uniform",
+    chunk: int = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """Draw ``count`` weight vectors from the seeded chunked stream.
+
+    Convenience wrapper that concatenates :func:`sample_chunk` draws — the
+    exact vectors the estimator classifies for the same ``(seed, mode,
+    chunk)`` configuration.
+
+    Parameters
+    ----------
+    dimensionality:
+        Number of data attributes ``d``.
+    count:
+        Total number of vectors to draw.
+    seed:
+        Stream seed (default ``0``).
+    mode:
+        ``"uniform"`` (default) or ``"stratified"``.
+    chunk:
+        Chunk size of the underlying stream (default
+        :data:`DEFAULT_CHUNK`).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(count, dimensionality)`` of nonnegative rows
+        summing to one.
+
+    Examples
+    --------
+    >>> weights = sample_preference_weights(3, 5, seed=7)
+    >>> weights.shape
+    (5, 3)
+    >>> bool(np.allclose(weights.sum(axis=1), 1.0))
+    True
+    """
+    sizes = chunk_sizes(count, chunk)
+    if not sizes:
+        return np.empty((0, dimensionality), dtype=float)
+    parts = [
+        sample_chunk(dimensionality, size, seed, index, mode)
+        for index, size in enumerate(sizes)
+    ]
+    return np.vstack(parts)

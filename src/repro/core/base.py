@@ -140,8 +140,11 @@ class PreparedQuery:
       only on the record values and the focal values.
     """
 
+    #: ``tree`` may be ``None`` only for consumers that never touch it — the
+    #: sampling estimator (:func:`repro.approx.sample_kspr`) reads just the
+    #: partition; every exact algorithm requires a real competitor R-tree.
     partition: FocalPartition
-    tree: AggregateRTree
+    tree: AggregateRTree | None
     hyperplane_cache: dict[int, Hyperplane] | None = None
 
 

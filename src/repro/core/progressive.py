@@ -55,6 +55,7 @@ class BoundEvaluator(Protocol):
     """Anything that can bracket the rank of the focal record within a cell."""
 
     def evaluate(self, cell: CellView, k: int) -> RankBounds:  # pragma: no cover - protocol
+        """Return ``[lower, upper]`` rank bounds for the focal record in ``cell``."""
         ...
 
 

@@ -12,6 +12,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..approx.estimator import sample_kspr
+from ..approx.result import ApproxKSPRResult
 from ..exceptions import InvalidQueryError
 from ..records import Dataset
 from ..robust import validate_query_inputs
@@ -30,7 +32,7 @@ __all__ = [
     "validate_query",
 ]
 
-_METHODS: dict[str, Callable[..., KSPRResult]] = {
+_METHODS: dict[str, Callable[..., KSPRResult | ApproxKSPRResult]] = {
     "cta": cta,
     "pcta": pcta,
     "p-cta": pcta,
@@ -38,6 +40,7 @@ _METHODS: dict[str, Callable[..., KSPRResult]] = {
     "lp-cta": lpcta,
     "op-cta": op_cta,
     "olp-cta": olp_cta,
+    "sample": sample_kspr,
 }
 
 
@@ -87,7 +90,7 @@ def kspr(
     k: int,
     method: str = "lpcta",
     **options,
-) -> KSPRResult:
+) -> KSPRResult | ApproxKSPRResult:
     """Answer a k-Shortlist Preference Region query.
 
     Parameters
@@ -101,19 +104,31 @@ def kspr(
         Shortlist size: the regions where ``p`` ranks among the top-``k`` are
         reported.
     method:
-        ``"lpcta"`` (default), ``"pcta"``, ``"cta"``, ``"op-cta"`` or
-        ``"olp-cta"``.
+        ``"lpcta"`` (default), ``"pcta"``, ``"cta"``, ``"op-cta"``,
+        ``"olp-cta"`` — the exact algorithms — or ``"sample"``, the Monte
+        Carlo approximate mode (see :mod:`repro.approx`).
     options:
         Forwarded to the selected algorithm (e.g. ``bounds_mode="group"`` for
         LP-CTA, ``finalize_geometry=False`` to skip exact geometry,
         ``tolerance=Tolerance(...)`` to tighten or loosen the numerical
-        policy for this query — see :mod:`repro.robust`).
+        policy for this query — see :mod:`repro.robust`; for
+        ``method="sample"``: ``epsilon``, ``delta``, ``samples``, ``mode``,
+        ``seed``, ``adaptive`` — see :func:`repro.approx.sample_kspr`).
 
     Returns
     -------
-    KSPRResult
-        The preference regions (each with its rank and exact geometry) plus
-        query statistics.
+    KSPRResult or ApproxKSPRResult
+        For the exact methods, the preference regions (each with its rank
+        and exact geometry) plus query statistics.  For ``"sample"``, an
+        :class:`~repro.approx.ApproxKSPRResult`: the estimated impact
+        probability with its confidence intervals — no region geometry.
+
+    Raises
+    ------
+    InvalidQueryError
+        For an unknown ``method`` or malformed query inputs (``k < 1``,
+        ``k > n``, ``d = 1`` datasets, focal shape or dimensionality
+        mismatches, non-finite focal values).
 
     Examples
     --------
@@ -130,4 +145,8 @@ def kspr(
     normalized = normalize_method(method)
     if normalized == "lpcta" and "bounds_mode" in options and isinstance(options["bounds_mode"], str):
         options["bounds_mode"] = BoundsMode(options["bounds_mode"])
+    if normalized == "sample":
+        # The line above already validated (and possibly warned about) the
+        # query; the estimator must not warn a second time.
+        options.setdefault("warn", False)
     return _METHODS[normalized](dataset, focal, k, **options)

@@ -198,7 +198,35 @@ class PreferenceRegion:
 
 
 class KSPRResult:
-    """Complete answer to a kSPR query."""
+    """Complete answer to a kSPR query.
+
+    A sequence of :class:`PreferenceRegion` objects (iteration, indexing and
+    ``len()`` are supported) plus the :class:`QueryStats` of the run that
+    produced it.
+
+    Parameters
+    ----------
+    focal:
+        The focal record the query was asked about.
+    k:
+        Shortlist size.
+    regions:
+        The disjoint preference regions where the focal record ranks
+        ``<= k``; empty when it never does.
+    stats:
+        Instrumentation of the producing run.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import Dataset, kspr
+    >>> data = Dataset(np.array([[3, 8, 8], [9, 4, 4], [8, 3, 4], [4, 3, 6]]))
+    >>> result = kspr(data, focal=[5, 5, 7], k=3)
+    >>> result.is_empty
+    False
+    >>> bool(0.0 < result.impact_probability() <= 1.0)
+    True
+    """
 
     def __init__(
         self,

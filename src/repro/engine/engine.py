@@ -42,6 +42,15 @@ updated record ``r``:
 Rules 1–4 keep cached results byte-identical to what a cold re-run against
 the current dataset would produce.
 
+**Approximate serving** — :meth:`Engine.query` with ``approx=`` (or
+``method="sample"``) serves the Monte Carlo estimate of :mod:`repro.approx`
+through the same machinery: the prepared focal partition (with its k-skyband
+pruned competitor slice, sound for the top-k indicator by Lemma 6) feeds the
+sample classifier, the :class:`~repro.approx.ApproxKSPRResult` is cached
+under the same tolerance-aware key scheme — with the accuracy contract
+(epsilon, delta, seed, mode, chunk) in the key so different contracts never
+alias — and rules 1–4 govern its invalidation exactly as for exact answers.
+
 **Anytime serving** — :meth:`Engine.query_stream` answers a query as a stream
 of :class:`~repro.core.result.PartialKSPRResult` snapshots (regions are
 yielded as soon as Lemma 5 certifies them) under a ``deadline`` /
@@ -65,6 +74,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from ..approx.result import ApproxKSPRResult
 from ..core.base import PreparedQuery
 from ..core.bounds import BoundsMode
 from ..core.query import resolve_method, validate_query
@@ -290,13 +300,17 @@ class Engine:
         """Default numerical policy of this engine (None = library default)."""
         return self._tolerance
 
-    def _effective_options(self, options: dict) -> dict:
+    def _effective_options(self, options: dict, method_name: str | None = None) -> dict:
         """Canonical per-query options: engine defaults applied, values resolved.
 
         The engine-level tolerance is injected when the query did not pass its
         own; whatever tolerance ends up in effect is resolved to a
         :class:`~repro.robust.Tolerance` so the cache key is canonical (a
-        float and its equivalent policy never produce two entries).
+        float and its equivalent policy never produce two entries).  For the
+        sampling method, the accuracy-contract fields are expanded to the
+        full :class:`~repro.approx.ApproxSpec` (defaults included), so the
+        ``approx=`` and ``method="sample"`` spellings of one query always
+        share a single cache entry.
         """
         options = dict(options)
         if isinstance(options.get("bounds_mode"), str):
@@ -308,6 +322,19 @@ class Engine:
                 del options["tolerance"]
         if "tolerance" not in options and self._tolerance is not None:
             options["tolerance"] = self._tolerance
+        if method_name == "sample_kspr":
+            from ..approx.estimator import ApproxSpec  # local: engine <-> approx
+
+            # ``warn`` never changes the answer (admission already warned) —
+            # drop it so it cannot split the cache key; every contract field
+            # (max_samples included) is then expanded to the full spec.
+            options.pop("warn", None)
+            overrides = {
+                name: options.pop(name)
+                for name in list(options)
+                if name in ApproxSpec.__dataclass_fields__
+            }
+            options.update(ApproxSpec(**overrides).as_options())
         return options
 
     def dominator_counts(self) -> np.ndarray:
@@ -351,7 +378,7 @@ class Engine:
         """
         method_name, _ = resolve_method(method or self._default_method)
         focal_array = np.asarray(focal, dtype=float)
-        options = self._effective_options(options or {})
+        options = self._effective_options(options or {}, method_name)
         opts = options_key(options)
         with self._lock:
             if fingerprint is None:
@@ -402,8 +429,9 @@ class Engine:
         k: int,
         method: str | None = None,
         workers: int | None = None,
+        approx: "object | None" = None,
         **options,
-    ) -> KSPRResult:
+    ) -> KSPRResult | ApproxKSPRResult:
         """Answer one kSPR query, reusing every piece of prepared state it can.
 
         Accepts the same arguments as :func:`repro.kspr`; results are
@@ -411,18 +439,64 @@ class Engine:
         pruning enabled, identical up to the decomposition of the answer into
         cells — the covered region and the ranks are always the same).
 
-        ``workers`` (> 1) accelerates a *cold* ``"cta"`` query by sharding
-        its CellTree expansion across worker processes
-        (:func:`repro.parallel.parallel_cta`); the answer — and hence the
-        cached entry — is identical to the single-process run, so ``workers``
-        deliberately does not participate in the cache key.  Methods without
-        a sharded implementation run serially regardless of ``workers``.
+        Parameters
+        ----------
+        focal, k, method, options:
+            The query, exactly as :func:`repro.kspr` takes it.
+        workers:
+            ``> 1`` accelerates a *cold* ``"cta"`` query by sharding its
+            CellTree expansion across worker processes
+            (:func:`repro.parallel.parallel_cta`), and a ``"sample"`` query
+            by classifying its seeded sample chunks in parallel; either way
+            the answer — and hence the cached entry — is identical to the
+            single-process run, so ``workers`` deliberately does not
+            participate in the cache key.  Other methods run serially
+            regardless of ``workers``.
+        approx:
+            Request the sampling-based approximate mode: an
+            :class:`~repro.approx.ApproxSpec`, a dict of its fields, a bare
+            epsilon, or ``True`` for defaults.  Equivalent to
+            ``method="sample"`` with the spec's fields as options; the
+            returned :class:`~repro.approx.ApproxKSPRResult` is cached under
+            the same tolerance-aware key scheme as exact answers (epsilon,
+            delta, seed, mode and chunk are all part of the key, so
+            different accuracy contracts never alias) and obeys the same
+            rules-1-4 update invalidation.
+
+        Returns
+        -------
+        KSPRResult or ApproxKSPRResult
+            The exact answer, or the sampled estimate when ``approx`` /
+            ``method="sample"`` was requested.
+
+        Raises
+        ------
+        InvalidQueryError
+            For malformed query inputs or an invalid accuracy contract.
         """
+        if approx is not None:
+            from ..approx.estimator import ApproxSpec  # local import: engine <-> approx
+
+            spec = ApproxSpec.coerce(approx)
+            if method is not None and resolve_method(method)[0] != "sample_kspr":
+                raise InvalidQueryError(
+                    f"approx={approx!r} conflicts with method={method!r}; "
+                    "the approximate mode is method='sample'"
+                )
+            conflicts = set(options) & set(ApproxSpec.__dataclass_fields__)
+            if conflicts:
+                raise InvalidQueryError(
+                    f"approx= conflicts with the explicit option(s) "
+                    f"{sorted(conflicts)}; declare the accuracy contract in "
+                    "one place"
+                )
+            method = "sample"
+            options = {**spec.as_options(), **options}
         method_name, method_func = resolve_method(method or self._default_method)
         with self._lock:
             snapshot = self._snapshot
         focal_array = validate_query(snapshot, focal, k)
-        options = self._effective_options(options)
+        options = self._effective_options(options, method_name)
         opts = options_key(options)
         key = (snapshot.fingerprint(), focal_array.tobytes(), int(k), method_name, opts)
 
@@ -436,7 +510,9 @@ class Engine:
         space = _ORIGINAL if method_name in ("op_cta", "olp_cta") else options.get(
             "space", _TRANSFORMED
         )
-        entry, snapshot = self._prepared_for(focal_array, int(k), space)
+        entry, snapshot = self._prepared_for(
+            focal_array, int(k), space, build_tree=method_name != "sample_kspr"
+        )
 
         cold_start = time.perf_counter()
         if workers is not None and workers > 1 and method_name == "cta":
@@ -451,8 +527,18 @@ class Engine:
                 **options,
             )
         else:
+            call_options = dict(options)
+            if method_name == "sample_kspr":
+                # Admission already validated (and possibly warned about)
+                # the query; the estimator must not warn a second time.
+                # Neither flag participates in the cache key (warn is
+                # stripped by _effective_options; chunk substreams make the
+                # estimate identical for every worker count).
+                call_options["warn"] = False
+                if workers is not None and workers > 1:
+                    call_options["workers"] = workers
             result = method_func(
-                snapshot, focal_array, int(k), prepared=entry.prepared, **options
+                snapshot, focal_array, int(k), prepared=entry.prepared, **call_options
             )
         cold_seconds = time.perf_counter() - cold_start
 
@@ -528,10 +614,16 @@ class Engine:
 
         StreamBudget(deadline=deadline, max_batches=max_batches)
         method_name, _ = resolve_method(method or self._default_method)
+        if method_name == "sample_kspr":
+            raise InvalidQueryError(
+                "method='sample' has no streaming implementation; use "
+                "query(approx=...) — the adaptive sampling mode already "
+                "refines its estimate incrementally"
+            )
         with self._lock:
             snapshot = self._snapshot
         focal_array = validate_query(snapshot, focal, k)
-        options = self._effective_options(options)
+        options = self._effective_options(options, method_name)
         opts = options_key(options)
         return self._stream(
             snapshot, focal_array, int(k), method_name, options, opts,
@@ -695,7 +787,7 @@ class Engine:
         """
         method_name, _ = resolve_method(method or self._default_method)
         focal_array = np.asarray(focal, dtype=float)
-        opts = options_key(self._effective_options(options))
+        opts = options_key(self._effective_options(options, method_name))
         with self._lock:
             if fingerprint != self._snapshot.fingerprint():
                 return False
@@ -718,7 +810,7 @@ class Engine:
             return True
 
     def _prepared_for(
-        self, focal: np.ndarray, k: int, space: str
+        self, focal: np.ndarray, k: int, space: str, build_tree: bool = True
     ) -> tuple[_PreparedEntry, Dataset]:
         """Fetch or build the prepared state for one ``(focal, k, space)``.
 
@@ -732,10 +824,19 @@ class Engine:
         entries depend on ``k`` (the competitor set is the k-skyband slice),
         but unpruned ones (``k > k_max`` or pruning disabled) share a single
         competitor tree across every ``k``.
+
+        ``build_tree=False`` (the sampling path) prepares only the focal
+        partition: the sampler never reads the competitor R-tree or the
+        hyperplane cache, and at the large ``n`` the approximate mode
+        targets, the STR bulk load would dominate the whole query.  Tree-less
+        entries live under their own key so an exact query can never pick
+        one up.
         """
         pruned = self._prune and k <= self.k_max
         band = k if pruned else 0
-        pkey = (focal.tobytes(), band, space)
+        pkey = (focal.tobytes(), band, space) if build_tree else (
+            focal.tobytes(), band, space, "sample"
+        )
         prepare_start = time.perf_counter()
         with self._lock:
             snapshot = self._snapshot
@@ -744,24 +845,42 @@ class Engine:
                 self._prepared.move_to_end(pkey)
                 self.stats.prepared_reuses += 1
                 return entry, snapshot
-            partition = snapshot.partition_by_focal(focal)
-            if pruned:
-                band_ids = self._skyband.skyband_ids(k)
-                competitors = partition.competitors
-                keep = [
-                    i
-                    for i, record_id in enumerate(competitors.ids)
-                    if int(record_id) in band_ids
-                ]
-                if len(keep) < competitors.cardinality:
-                    partition = FocalPartition(
-                        competitors=competitors.subset(keep),
-                        dominators=partition.dominators,
-                        dominated=partition.dominated,
-                    )
+            # The exact and sampling entries of one (focal, band, space)
+            # share the identical pruned partition; reuse the sibling's
+            # (valid for exactly the dataset states this entry would be —
+            # both are invalidated together by rules 1-4) instead of
+            # redoing the O(n d) partition and the skyband filter.
+            sibling_key = (
+                (focal.tobytes(), band, space, "sample")
+                if build_tree
+                else (focal.tobytes(), band, space)
+            )
+            sibling = self._prepared.get(sibling_key)
+            if sibling is not None:
+                partition = sibling.prepared.partition
+            else:
+                partition = snapshot.partition_by_focal(focal)
+                if pruned:
+                    band_ids = self._skyband.skyband_ids(k)
+                    competitors = partition.competitors
+                    keep = [
+                        i
+                        for i, record_id in enumerate(competitors.ids)
+                        if int(record_id) in band_ids
+                    ]
+                    if len(keep) < competitors.cardinality:
+                        partition = FocalPartition(
+                            competitors=competitors.subset(keep),
+                            dominators=partition.dominators,
+                            dominated=partition.dominated,
+                        )
         # The heavy part runs outside the lock so updates and other queries
         # are not serialised behind the STR bulk load.
-        tree = AggregateRTree(partition.competitors, fanout=self._fanout)
+        tree = (
+            AggregateRTree(partition.competitors, fanout=self._fanout)
+            if build_tree
+            else None
+        )
         prepare_seconds = time.perf_counter() - prepare_start
 
         with self._lock:
@@ -786,8 +905,11 @@ class Engine:
                 self._prepared.move_to_end(pkey)
                 self.stats.prepared_reuses += 1
                 return raced, snapshot
-            hkey = (focal.tobytes(), space)
-            hyperplanes = self._hyperplanes.setdefault(hkey, {})
+            if build_tree:
+                hkey = (focal.tobytes(), space)
+                hyperplanes = self._hyperplanes.setdefault(hkey, {})
+            else:
+                hyperplanes = None
             entry = _PreparedEntry(
                 prepared=PreparedQuery(partition, tree, hyperplanes),
                 focal=focal.copy(),
@@ -804,10 +926,17 @@ class Engine:
             return entry, snapshot
 
     def _drop_hyperplanes_if_unused(self, evicted: _PreparedEntry) -> None:
-        """Release a focal's hyperplane cache once nothing references it."""
+        """Release a focal's hyperplane cache once nothing references it.
+
+        Only entries that actually hold a hyperplane cache count as
+        references — tree-less sampling entries never touch it, so they must
+        not pin a focal's hyperplanes alive past the last exact entry.
+        """
         hkey = (evicted.focal.tobytes(), evicted.space)
         for entry in self._prepared.values():
-            if (entry.focal.tobytes(), entry.space) == hkey:
+            if entry.prepared.hyperplane_cache is not None and (
+                entry.focal.tobytes(), entry.space
+            ) == hkey:
                 return
         self._hyperplanes.pop(hkey, None)
 

@@ -15,6 +15,7 @@ from .report import render_figure
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: regenerate the requested figures (``fig10b``, ``all``, ...)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",

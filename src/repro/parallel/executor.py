@@ -13,6 +13,12 @@ and shipped to the workers, instead of being recomputed per process.  Shards
 are planned per focal record (see
 :func:`~repro.parallel.shards.plan_focal_shards`) so prepared state is never
 duplicated across workers.
+
+Approximate specs (``method="sample"``, see :mod:`repro.approx`) are served
+through the same path: the worker reuses the pruned focal partition (no
+R-tree is built — the sampler never reads one) and the seeded chunk
+substreams make the estimate identical to the serial run for every worker
+count and shard plan.
 """
 
 from __future__ import annotations
@@ -112,6 +118,10 @@ def _serve(
     the served prefix of every shard is deterministic.
     """
     prepared_cache: dict[tuple, PreparedQuery] = {}
+    #: (focal, band) -> pruned FocalPartition, shared between the exact and
+    #: sampling prepared entries of one focal so the O(n d) partition pass
+    #: and the k-skyband filter run once per focal even in mixed batches.
+    partition_cache: dict[tuple, FocalPartition] = {}
     hyperplane_caches: dict[tuple, dict] = {}
     result_cache: dict[tuple, object] = {}
     outcomes: list[tuple[int, object, Exception | None, float, bool]] = []
@@ -154,31 +164,49 @@ def _serve(
                 and int(k) <= settings["k_max"]
             )
             band = int(k) if pruned else 0
-            pkey = (focal_array.tobytes(), band, space)
+            # The sampling mode only consumes the focal partition — keying
+            # its prepared state separately skips the R-tree build entirely
+            # (and keeps exact queries from ever seeing a tree-less entry).
+            sampling = method_name == "sample_kspr"
+            pkey = (focal_array.tobytes(), band, space, sampling)
             prepared = prepared_cache.get(pkey)
             if prepared is None:
-                partition = dataset.partition_by_focal(focal_array)
-                if pruned:
-                    competitors = partition.competitors
-                    keep = [
-                        i
-                        for i, record_id in enumerate(competitors.ids)
-                        if counts_by_id[int(record_id)] < int(k)
-                    ]
-                    if len(keep) < competitors.cardinality:
-                        partition = FocalPartition(
-                            competitors=competitors.subset(keep),
-                            dominators=partition.dominators,
-                            dominated=partition.dominated,
-                        )
-                tree = AggregateRTree(partition.competitors, fanout=settings["fanout"])
-                hkey = (focal_array.tobytes(), space)
-                prepared = PreparedQuery(
-                    partition, tree, hyperplane_caches.setdefault(hkey, {})
-                )
+                partition_key = (focal_array.tobytes(), band)
+                partition = partition_cache.get(partition_key)
+                if partition is None:
+                    partition = dataset.partition_by_focal(focal_array)
+                    if pruned:
+                        competitors = partition.competitors
+                        keep = [
+                            i
+                            for i, record_id in enumerate(competitors.ids)
+                            if counts_by_id[int(record_id)] < int(k)
+                        ]
+                        if len(keep) < competitors.cardinality:
+                            partition = FocalPartition(
+                                competitors=competitors.subset(keep),
+                                dominators=partition.dominators,
+                                dominated=partition.dominated,
+                            )
+                    partition_cache[partition_key] = partition
+                if sampling:
+                    prepared = PreparedQuery(partition, None, None)
+                else:
+                    tree = AggregateRTree(
+                        partition.competitors, fanout=settings["fanout"]
+                    )
+                    hkey = (focal_array.tobytes(), space)
+                    prepared = PreparedQuery(
+                        partition, tree, hyperplane_caches.setdefault(hkey, {})
+                    )
                 prepared_cache[pkey] = prepared
 
             cold += 1
+            if sampling:
+                # validate_query above already warned where warranted; the
+                # estimator must not warn a second time (kept out of qkey —
+                # it never changes the answer).
+                options.setdefault("warn", False)
             result = method_func(dataset, focal_array, int(k), prepared=prepared, **options)
             result_cache[qkey] = result
             outcomes.append((index, result, None, time.perf_counter() - start, False))

@@ -26,9 +26,11 @@ from .tolerance import (
 )
 from .validation import (
     HIGH_DIMENSION_WARN,
+    SAMPLING_MODES,
     DegenerateInputWarning,
     QueryDiagnostics,
     diagnose_degeneracies,
+    validate_approx_params,
     validate_query_inputs,
 )
 
@@ -42,7 +44,9 @@ __all__ = [
     "BOUNDARY_SIDE",
     "DegenerateInputWarning",
     "HIGH_DIMENSION_WARN",
+    "SAMPLING_MODES",
     "QueryDiagnostics",
     "validate_query_inputs",
+    "validate_approx_params",
     "diagnose_degeneracies",
 ]

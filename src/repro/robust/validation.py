@@ -40,13 +40,20 @@ from ..exceptions import InvalidQueryError
 __all__ = [
     "DegenerateInputWarning",
     "HIGH_DIMENSION_WARN",
+    "SAMPLING_MODES",
     "QueryDiagnostics",
     "validate_query_inputs",
+    "validate_approx_params",
     "diagnose_degeneracies",
 ]
 
 #: Dimensionality at and above which a query warns about exponential cost.
 HIGH_DIMENSION_WARN = 7
+
+#: The sampling designs of the approximate mode.  Canonical here — the one
+#: validation layer every entry point shares — and re-exported by
+#: :mod:`repro.approx.sampler`, whose samplers implement exactly these.
+SAMPLING_MODES = ("uniform", "stratified")
 
 
 class DegenerateInputWarning(UserWarning):
@@ -94,6 +101,99 @@ def validate_query_inputs(dataset, focal, k: int, *, warn: bool = True) -> np.nd
             stacklevel=3,
         )
     return focal_array
+
+
+def validate_approx_params(
+    *,
+    epsilon: float = None,
+    delta: float = None,
+    samples: int | None = None,
+    mode: str = "uniform",
+    chunk: int | None = None,
+    seed: int | None = None,
+    adaptive: bool | None = None,
+    max_samples: int | None = None,
+) -> None:
+    """Validate the statistical contract of an approximate (sampling) query.
+
+    The canonical check shared by :func:`repro.approx.sample_kspr`,
+    ``kspr(method="sample")`` and ``Engine.query(approx=...)`` — malformed
+    accuracy parameters raise here, at admission, instead of surfacing as
+    downstream numerical nonsense.
+
+    Parameters
+    ----------
+    epsilon:
+        Target confidence-interval half-width; must satisfy
+        ``0 < epsilon < 1``.
+    delta:
+        Failure probability; must satisfy ``0 < delta < 1``.
+    samples:
+        Optional explicit sample count; must be a positive integer when
+        given.
+    mode:
+        Sampling design name; ``"uniform"`` or ``"stratified"``.
+    chunk:
+        Optional chunk size; must be a positive integer when given.
+    seed:
+        Optional stream seed; must be an integer when given.
+    adaptive:
+        Optional adaptive-stopping flag; must be a bool when given.
+    max_samples:
+        Optional adaptive-mode sample cap; must be a positive integer when
+        given.
+
+    Raises
+    ------
+    InvalidQueryError
+        With a parameter-specific message for every violation.
+    """
+    if epsilon is not None:
+        if not isinstance(epsilon, (int, float)) or isinstance(epsilon, bool):
+            raise InvalidQueryError(f"epsilon must be a number, got {epsilon!r}")
+        if not 0.0 < float(epsilon) < 1.0:
+            raise InvalidQueryError(
+                f"epsilon must lie strictly between 0 and 1, got {epsilon!r}"
+            )
+    if delta is not None:
+        if not isinstance(delta, (int, float)) or isinstance(delta, bool):
+            raise InvalidQueryError(f"delta must be a number, got {delta!r}")
+        if not 0.0 < float(delta) < 1.0:
+            raise InvalidQueryError(
+                f"delta must lie strictly between 0 and 1, got {delta!r}"
+            )
+    if samples is not None:
+        if isinstance(samples, bool) or not isinstance(samples, (int, np.integer)):
+            raise InvalidQueryError(f"samples must be an integer, got {samples!r}")
+        if samples < 1:
+            raise InvalidQueryError(f"samples must be a positive integer, got {samples}")
+    if mode not in SAMPLING_MODES:
+        raise InvalidQueryError(
+            f"unknown sampling mode {mode!r}; expected one of {', '.join(SAMPLING_MODES)}"
+        )
+    if chunk is not None:
+        if isinstance(chunk, bool) or not isinstance(chunk, (int, np.integer)):
+            raise InvalidQueryError(f"chunk must be an integer, got {chunk!r}")
+        if chunk < 1:
+            raise InvalidQueryError(f"chunk must be a positive integer, got {chunk}")
+    if seed is not None and (
+        isinstance(seed, bool) or not isinstance(seed, (int, np.integer))
+    ):
+        raise InvalidQueryError(f"seed must be an integer, got {seed!r}")
+    if adaptive is not None and not isinstance(adaptive, (bool, np.bool_)):
+        raise InvalidQueryError(f"adaptive must be a bool, got {adaptive!r}")
+    if adaptive and samples is not None:
+        raise InvalidQueryError(
+            "adaptive=True draws until the interval meets epsilon, which "
+            "contradicts an explicit samples= count; pass one or the other"
+        )
+    if max_samples is not None:
+        if isinstance(max_samples, bool) or not isinstance(max_samples, (int, np.integer)):
+            raise InvalidQueryError(f"max_samples must be an integer, got {max_samples!r}")
+        if max_samples < 1:
+            raise InvalidQueryError(
+                f"max_samples must be a positive integer, got {max_samples}"
+            )
 
 
 @dataclass(frozen=True)

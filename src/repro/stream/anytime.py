@@ -297,19 +297,74 @@ def stream_kspr(
     Accepts the same query triple and method names as :func:`repro.kspr` and
     returns an :class:`AnytimeQuery` ready to be advanced under a budget.
 
-    ``workers > 1`` shards a ``"cta"`` query's CellTree expansion across
-    worker processes (:func:`repro.parallel.parallel_ticks`): per-shard
-    region streams are merged back in the deterministic depth-first order of
-    the seed tree, so snapshots — and the final result — are identical to the
-    serial stream.  ``chunk_size`` tunes the CTA tick granularity and
-    ``shard_factor`` the parallel over-partitioning; both keep their
-    subsystem defaults when ``None``.
+    Parameters
+    ----------
+    dataset:
+        The competing options, as a :class:`~repro.records.Dataset` or raw
+        ``(n, d)`` array-like.
+    focal:
+        The focal record whose impact regions are sought.
+    k:
+        Shortlist size.
+    method:
+        Any exact :func:`repro.kspr` method name (``"lpcta"`` default).
+        The approximate ``"sample"`` mode has no streaming implementation —
+        its adaptive variant already refines incrementally.
+    workers:
+        ``> 1`` shards a ``"cta"`` query's CellTree expansion across worker
+        processes (:func:`repro.parallel.subtree.parallel_ticks`): per-shard
+        region streams are merged back in the deterministic depth-first
+        order of the seed tree, so snapshots — and the final result — are
+        identical to the serial stream.
+    chunk_size:
+        CTA tick granularity (records per work unit); subsystem default
+        when ``None``.
+    shard_factor:
+        Parallel over-partitioning factor; subsystem default when ``None``.
+    prepared:
+        Prepared per-focal state from a serving layer (skips partitioning
+        and the competitor R-tree build).
+    bounds_mode:
+        LP-CTA look-ahead configuration (``"fast"``, ``"group"``,
+        ``"record"``).
+    space:
+        ``"transformed"`` (default) or ``"original"`` (Appendix C variants).
+    finalize_geometry:
+        Whether the terminal result computes exact region geometry.
+    tolerance:
+        Numerical policy for every comparison of the query (see
+        :mod:`repro.robust`).
+    capture:
+        ``False`` skips the per-tick frontier freeze (an
+        O(active leaves × tree depth) copy): snapshots then report the
+        trivial ``impact_upper() == 1.0`` until completion, but
+        pause/resume and region streaming are unaffected — the right trade
+        for consumers that never read brackets.
 
-    ``capture=False`` skips the per-tick frontier freeze (an
-    O(active leaves × tree depth) copy): snapshots then report the trivial
-    ``impact_upper() == 1.0`` until completion, but pause/resume and region
-    streaming are unaffected — the right trade for consumers that never read
-    brackets, e.g. pure deadline-bounded serving.
+    Returns
+    -------
+    AnytimeQuery
+        The suspended query; pull snapshots with
+        :meth:`AnytimeQuery.advance`, or drain with
+        :meth:`AnytimeQuery.run`.
+
+    Raises
+    ------
+    InvalidQueryError
+        For malformed query inputs, an unknown method, or a method without
+        a streaming implementation.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import Dataset, stream_kspr
+    >>> data = Dataset(np.array([[3, 8, 8], [9, 4, 4], [8, 3, 4], [4, 3, 6]]))
+    >>> query = stream_kspr(data, focal=[5, 5, 7], k=3)
+    >>> for snapshot in query.advance(max_batches=1):
+    ...     lower, upper = snapshot.impact_bracket()
+    >>> exact = query.run()          # finish whenever convenient
+    >>> bool(lower <= exact.impact_probability() <= upper)
+    True
     """
     if not isinstance(dataset, Dataset):
         dataset = Dataset(np.asarray(dataset, dtype=float))

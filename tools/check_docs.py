@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Strict-mode pre-check for the documentation tree (stdlib-only).
+
+Validates, without needing mkdocs installed:
+
+* every internal Markdown link (``[text](path.md)`` / ``(path.md#anchor)``)
+  in ``docs/`` and ``README.md`` resolves to an existing file;
+* every page referenced by the ``nav`` section of ``mkdocs.yml`` exists, and
+  every Markdown page under ``docs/`` is reachable from the nav (api pages
+  may be linked rather than nav'ed);
+* no page is empty.
+
+CI runs this before ``mkdocs build --strict`` so broken links fail fast with
+actionable paths even in environments where mkdocs cannot be installed.
+
+Usage::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+#: Markdown links, ignoring external (scheme-ful) and intra-page targets.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _internal_targets(markdown: str) -> list[str]:
+    targets = []
+    for match in LINK_PATTERN.finditer(markdown):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return targets
+
+
+def check_links() -> list[str]:
+    """Resolve every internal link of every page; return failure messages."""
+    failures = []
+    pages = sorted(DOCS_DIR.rglob("*.md")) + [REPO_ROOT / "README.md"]
+    for page in pages:
+        content = page.read_text()
+        if not content.strip():
+            failures.append(f"{page.relative_to(REPO_ROOT)}: page is empty")
+            continue
+        for target in _internal_targets(content):
+            resolved = (page.parent / target).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{page.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return failures
+
+
+def check_nav() -> list[str]:
+    """Cross-check the mkdocs nav against the files on disk."""
+    failures = []
+    if not MKDOCS_YML.exists():
+        return ["mkdocs.yml is missing"]
+    nav_entries = re.findall(r":\s*([\w\-/]+\.md)\s*$", MKDOCS_YML.read_text(), re.M)
+    for entry in nav_entries:
+        if not (DOCS_DIR / entry).exists():
+            failures.append(f"mkdocs.yml nav references missing page: {entry}")
+    nav_set = set(nav_entries)
+    linked: set[str] = set()
+    for page in DOCS_DIR.rglob("*.md"):
+        for target in _internal_targets(page.read_text()):
+            resolved = (page.parent / target).resolve()
+            try:
+                linked.add(str(resolved.relative_to(DOCS_DIR)))
+            except ValueError:
+                continue
+    for page in sorted(DOCS_DIR.rglob("*.md")):
+        relative = str(page.relative_to(DOCS_DIR))
+        if relative not in nav_set and relative not in linked:
+            failures.append(f"page neither in nav nor linked from docs: {relative}")
+    return failures
+
+
+def main() -> int:
+    failures = check_links() + check_nav()
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        print(f"\n{len(failures)} documentation problems")
+        return 1
+    pages = len(list(DOCS_DIR.rglob("*.md")))
+    print(f"docs ok: {pages} pages, all internal links and nav entries resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API (stdlib-only interrogate stand-in).
+
+Walks every module under ``src/repro`` with :mod:`ast` and counts docstrings
+on the public surface: modules, public classes, public functions and public
+methods (names not starting with ``_``, plus ``__init__`` when it takes
+arguments beyond ``self``).  Private helpers, test files and generated code
+are out of scope — the gate protects what the documentation system renders.
+
+Usage::
+
+    python tools/check_docstrings.py --fail-under 80 [--verbose]
+
+Exits non-zero when coverage is below the threshold, printing every
+undocumented definition so the failure is actionable.  CI runs this next to
+the docs build; it needs no third-party packages, so it also works in the
+minimal local environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+PACKAGE_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _counts_for_function(node: ast.AST, owner_documented: bool = False) -> bool:
+    """Whether a function/method definition belongs to the public surface.
+
+    ``__init__`` counts only when it takes arguments *and* the owning class
+    has no docstring — the NumPy convention documents constructor parameters
+    in the class docstring, so a documented class covers its ``__init__``.
+    """
+    if _is_public(node.name):
+        return True
+    if node.name == "__init__" and not owner_documented:
+        args = node.args
+        extra = (
+            len(args.args) > 1
+            or args.vararg is not None
+            or args.kwonlyargs
+            or args.kwarg is not None
+        )
+        return extra
+    return False
+
+
+def audit_module(path: Path) -> list[tuple[str, bool]]:
+    """Return ``(qualified name, has docstring)`` for the module's public defs."""
+    tree = ast.parse(path.read_text())
+    relative = path.relative_to(PACKAGE_ROOT.parent)
+    module_name = str(relative.with_suffix("")).replace("/", ".")
+    entries: list[tuple[str, bool]] = [
+        (module_name, ast.get_docstring(tree) is not None)
+    ]
+
+    def visit(node: ast.AST, prefix: str, owner_documented: bool = False) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name):
+                    qualified = f"{prefix}.{child.name}"
+                    documented = ast.get_docstring(child) is not None
+                    entries.append((qualified, documented))
+                    visit(child, qualified, documented)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _counts_for_function(child, owner_documented):
+                    qualified = f"{prefix}.{child.name}"
+                    entries.append((qualified, ast.get_docstring(child) is not None))
+
+    visit(tree, module_name)
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=80.0,
+        help="minimum acceptable coverage percentage (default: 80)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="list every audited definition"
+    )
+    arguments = parser.parse_args(argv)
+
+    entries: list[tuple[str, bool]] = []
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        entries.extend(audit_module(path))
+
+    documented = sum(1 for _, ok in entries if ok)
+    coverage = 100.0 * documented / len(entries) if entries else 100.0
+    missing = [name for name, ok in entries if not ok]
+
+    if arguments.verbose:
+        for name, ok in entries:
+            print(f"{'ok  ' if ok else 'MISS'} {name}")
+        print()
+    if missing:
+        print(f"{len(missing)} undocumented public definitions:")
+        for name in missing:
+            print(f"  - {name}")
+    print(
+        f"docstring coverage: {documented}/{len(entries)} = {coverage:.1f}% "
+        f"(threshold {arguments.fail_under:.1f}%)"
+    )
+    if coverage < arguments.fail_under:
+        print("FAILED: coverage below threshold")
+        return 1
+    print("PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""Generate the Markdown API reference under ``docs/api/`` from docstrings.
+
+One page per subsystem; each page renders, for every module in the page's
+curated list, the module docstring followed by each public symbol of its
+``__all__``: the call signature and the full docstring (inside a fenced
+block, so NumPy-style sections survive any Markdown renderer verbatim).
+Classes additionally list their public methods with signatures and summary
+lines.
+
+The generated pages are **committed**.  CI regenerates them with ``--check``
+and fails on drift, so the reference can never rot behind the code — the
+same contract as a generated lockfile.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_api_docs.py          # (re)write docs/api/
+    PYTHONPATH=src python tools/gen_api_docs.py --check  # verify freshness
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_DIR = REPO_ROOT / "docs" / "api"
+
+#: page slug -> (page title, modules rendered on the page).
+PAGES: dict[str, tuple[str, list[str]]] = {
+    "repro": ("repro — top-level package", ["repro"]),
+    "core": (
+        "repro.core — exact kSPR algorithms",
+        ["repro.core.query", "repro.core.result", "repro.core.verify"],
+    ),
+    "approx": (
+        "repro.approx — sampling-based approximation",
+        [
+            "repro.approx.estimator",
+            "repro.approx.result",
+            "repro.approx.sampler",
+            "repro.approx.bridge",
+        ],
+    ),
+    "engine": (
+        "repro.engine — amortized serving",
+        [
+            "repro.engine.engine",
+            "repro.engine.batch",
+            "repro.engine.cache",
+            "repro.engine.workload",
+        ],
+    ),
+    "parallel": (
+        "repro.parallel — multi-core execution",
+        [
+            "repro.parallel.executor",
+            "repro.parallel.subtree",
+            "repro.parallel.shards",
+            "repro.parallel.compare",
+        ],
+    ),
+    "stream": ("repro.stream — anytime queries", ["repro.stream.anytime"]),
+    "robust": (
+        "repro.robust — numerical policy and validation",
+        ["repro.robust.tolerance", "repro.robust.validation"],
+    ),
+    "records": (
+        "repro.records & repro.data — datasets",
+        ["repro.records", "repro.data.synthetic"],
+    ),
+    "geometry": (
+        "repro.geometry — geometric kernels",
+        ["repro.geometry.transform", "repro.geometry.halfspace", "repro.geometry.polytope"],
+    ),
+    # Slug deliberately avoids "index.md", which is the page listing below.
+    "index_pkg": (
+        "repro.index — spatial indexes",
+        ["repro.index.rtree", "repro.index.skyline", "repro.index.dominance"],
+    ),
+}
+
+
+def _signature(obj) -> str:
+    """Best-effort call signature; empty string where none applies."""
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return ""
+
+
+def _docstring_block(obj) -> str:
+    """The cleaned docstring inside a fenced block (empty string if none)."""
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return ""
+    return "```text\n" + doc.rstrip() + "\n```\n"
+
+
+def _summary_line(obj) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0]
+
+
+def _render_class(name: str, obj: type) -> list[str]:
+    lines = [f"### `{name}`\n"]
+    signature = _signature(obj)
+    if signature:
+        lines.append(f"```python\nclass {name}{signature}\n```\n")
+    block = _docstring_block(obj)
+    if block:
+        lines.append(block)
+    methods = []
+    for attr_name, attr in sorted(vars(obj).items()):
+        if attr_name.startswith("_"):
+            continue
+        if isinstance(attr, (staticmethod, classmethod)):
+            attr = attr.__func__
+        if callable(attr):
+            methods.append((attr_name, f"`{attr_name}{_signature(attr)}`", _summary_line(attr)))
+        elif isinstance(attr, property):
+            methods.append((attr_name, f"`{attr_name}` *(property)*", _summary_line(attr.fget)))
+    if methods:
+        lines.append("**Public methods and properties:**\n")
+        for _, rendered, summary in methods:
+            suffix = f" — {summary}" if summary else ""
+            lines.append(f"- {rendered}{suffix}")
+        lines.append("")
+    return lines
+
+
+def _render_symbol(module, name: str) -> list[str]:
+    obj = getattr(module, name)
+    if inspect.isclass(obj):
+        return _render_class(name, obj)
+    if callable(obj):
+        lines = [f"### `{name}`\n"]
+        signature = _signature(obj)
+        if signature:
+            lines.append(f"```python\n{name}{signature}\n```\n")
+        block = _docstring_block(obj)
+        if block:
+            lines.append(block)
+        return lines
+    # Module-level constant.
+    return [f"### `{name}`\n", f"```python\n{name} = {obj!r}\n```\n"]
+
+
+def render_page(slug: str, title: str, module_names: list[str]) -> str:
+    lines = [
+        f"# {title}\n",
+        "<!-- Generated by tools/gen_api_docs.py — do not edit by hand. -->\n",
+    ]
+    for module_name in module_names:
+        module = importlib.import_module(module_name)
+        lines.append(f"## Module `{module_name}`\n")
+        doc = inspect.getdoc(module)
+        if doc:
+            lines.append("```text\n" + doc.rstrip() + "\n```\n")
+        exported = list(getattr(module, "__all__", []))
+        for name in exported:
+            lines.extend(_render_symbol(module, name))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_index() -> str:
+    lines = [
+        "# API reference\n",
+        "<!-- Generated by tools/gen_api_docs.py — do not edit by hand. -->\n",
+        "Generated from the library docstrings; one page per subsystem.\n",
+    ]
+    for slug, (title, modules) in PAGES.items():
+        rendered_modules = ", ".join(f"`{name}`" for name in modules)
+        lines.append(f"- [{title}]({slug}.md) — {rendered_modules}")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def generate() -> dict[str, str]:
+    """Render every page; returns ``{relative filename: content}``."""
+    pages = {"index.md": render_index()}
+    for slug, (title, modules) in PAGES.items():
+        pages[f"{slug}.md"] = render_page(slug, title, modules)
+    return pages
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed pages match the docstrings (no writes)",
+    )
+    arguments = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    pages = generate()
+
+    if arguments.check:
+        stale = []
+        for filename, content in pages.items():
+            target = API_DIR / filename
+            if not target.exists() or target.read_text() != content:
+                stale.append(filename)
+        extra = sorted(
+            str(path.name)
+            for path in API_DIR.glob("*.md")
+            if path.name not in pages
+        )
+        if stale or extra:
+            for filename in stale:
+                print(f"STALE: docs/api/{filename}")
+            for filename in extra:
+                print(f"ORPHAN: docs/api/{filename}")
+            print(
+                textwrap.dedent(
+                    """
+                    The committed API reference is out of date with the
+                    docstrings.  Regenerate it with:
+
+                        PYTHONPATH=src python tools/gen_api_docs.py
+                    """
+                ).strip()
+            )
+            return 1
+        print(f"docs/api is up to date ({len(pages)} pages)")
+        return 0
+
+    API_DIR.mkdir(parents=True, exist_ok=True)
+    for filename, content in pages.items():
+        (API_DIR / filename).write_text(content)
+    print(f"wrote {len(pages)} pages to {API_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
