@@ -62,6 +62,16 @@ from .core import (
 )
 from .approx import ApproxKSPRResult, ApproxSpec, cross_check_stream, sample_kspr
 from .engine import Engine, QueryBatch, Workload, generate_workload, replay
+from .obs import (
+    MetricsRegistry,
+    NULL_TRACER,
+    QueryProfile,
+    Tracer,
+    current_tracer,
+    explain,
+    use_registry,
+    use_tracer,
+)
 from .parallel import ShardedExecutor, parallel_cta
 from .stream import AnytimeQuery, StreamBudget, stream_kspr
 from .robust import (
@@ -99,6 +109,14 @@ __all__ = [
     "ApproxSpec",
     "sample_kspr",
     "cross_check_stream",
+    "Tracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "MetricsRegistry",
+    "use_registry",
+    "QueryProfile",
+    "explain",
     "kspr",
     "cta",
     "pcta",

@@ -49,6 +49,7 @@ import numpy as np
 from ..core.base import PreparedQuery
 from ..core.result import QueryStats
 from ..exceptions import InvalidQueryError
+from ..obs.trace import current_tracer
 from ..records import Dataset, FocalPartition
 from ..robust import Tolerance, resolve_tolerance, validate_approx_params
 from ..robust.validation import validate_query_inputs
@@ -445,6 +446,7 @@ def sample_kspr(
     policy = None if tolerance is None else resolve_tolerance(tolerance)
 
     started = time.perf_counter()
+    cpu_started = time.process_time()
     partition: FocalPartition = (
         prepared.partition if prepared is not None else dataset.partition_by_focal(focal_array)
     )
@@ -465,17 +467,21 @@ def sample_kspr(
         classifier = _ChunkClassifier(
             competitors, focal_array, k_effective, dimensionality, int(seed), mode, workers
         )
-    try:
-        if adaptive:
-            hits, total, looks, ci_delta = _run_adaptive(
-                classifier, epsilon, delta, chunk, cap
-            )
-        else:
-            sizes = chunk_sizes(planned, chunk)
-            hits = classifier.hits(list(enumerate(sizes)))
-            total, looks, ci_delta = planned, 1, delta
-    finally:
-        classifier.close()
+    with current_tracer().span("approx.sample", mode=mode, adaptive=bool(adaptive)) as span:
+        try:
+            if adaptive:
+                hits, total, looks, ci_delta = _run_adaptive(
+                    classifier, epsilon, delta, chunk, cap
+                )
+            else:
+                sizes = chunk_sizes(planned, chunk)
+                hits = classifier.hits(list(enumerate(sizes)))
+                total, looks, ci_delta = planned, 1, delta
+        finally:
+            classifier.close()
+        # Chunk substreams make (samples, hits, looks) a pure function of the
+        # spec and seed — worker-count-invariant, so safe as span attributes.
+        span.set(samples=int(total), hits=int(hits), looks=int(looks), chunk=int(chunk))
 
     elapsed = time.perf_counter() - started
     stats = QueryStats(
@@ -485,6 +491,7 @@ def sample_kspr(
         dominator_records=int(partition.dominators),
         batches=len(chunk_sizes(total, chunk)),
         response_seconds=elapsed,
+        cpu_seconds=time.process_time() - cpu_started,
     )
     stats.add_phase("sampling", elapsed)
     return ApproxKSPRResult(
@@ -523,6 +530,7 @@ def _run_adaptive(
 
     Returns ``(hits, total samples, looks, delta spent at the final look)``.
     """
+    tracer = current_tracer()
     hits = 0
     total = 0
     next_index = 0
@@ -538,6 +546,13 @@ def _run_adaptive(
         total += grow
         look_delta = delta / (2.0**look)
         lower, upper = clopper_pearson_bounds(hits, total, look_delta)
+        if tracer.enabled:
+            # One event per look, not per chunk: the CI trajectory rendered
+            # by the EXPLAIN report.
+            tracer.event(
+                "approx.look",
+                look=look, samples=total, hits=hits, lower=lower, upper=upper,
+            )
         if (upper - lower) / 2.0 <= epsilon or total >= cap:
             return hits, total, look, look_delta
         target = total * 2

@@ -37,6 +37,7 @@ from ..geometry.halfspace import (
 )
 from ..geometry.linprog import LPCounters
 from ..index.rtree import AggregateRTree
+from ..obs.trace import current_tracer
 from ..records import Dataset, FocalPartition
 from ..robust import DEFAULT_TOLERANCE, Tolerance, resolve_tolerance
 from .celltree import CellTree
@@ -166,6 +167,9 @@ class QueryContext:
     #: query (LP feasibility, side tests, membership, finalisation).
     tolerance: Tolerance = DEFAULT_TOLERANCE
     started_at: float = field(default_factory=time.perf_counter)
+    #: ``time.process_time`` mark taken with ``started_at``; the delta at
+    #: result-build time becomes ``stats.cpu_seconds``.
+    cpu_started_at: float = field(default_factory=time.process_time)
     #: R-tree node accesses already on the (possibly shared) counter when this
     #: query started; per-query I/O is reported as the delta past this mark.
     io_reads_start: int = 0
@@ -274,16 +278,23 @@ def prepare_context(
     stats = QueryStats(algorithm=algorithm)
     counters = stats.lp
 
-    if prepared is not None:
-        partition = prepared.partition
-        competitors = partition.competitors
-        tree = prepared.tree
-    else:
-        partition = dataset.partition_by_focal(focal_array)
-        competitors = partition.competitors
-        build_start = time.perf_counter()
-        tree = AggregateRTree(competitors, fanout=fanout)
-        stats.index_build_seconds = time.perf_counter() - build_start
+    with current_tracer().span("query.prepare") as span:
+        if prepared is not None:
+            partition = prepared.partition
+            competitors = partition.competitors
+            tree = prepared.tree
+        else:
+            partition = dataset.partition_by_focal(focal_array)
+            competitors = partition.competitors
+            build_start = time.perf_counter()
+            tree = AggregateRTree(competitors, fanout=fanout)
+            stats.index_build_seconds = time.perf_counter() - build_start
+        span.set(
+            prepared=prepared is not None,
+            competitors=int(competitors.cardinality),
+            dominators=int(partition.dominators),
+        )
+        span.note(index_build_seconds=stats.index_build_seconds)
     stats.competitor_records = competitors.cardinality
     stats.dominator_records = partition.dominators
 
@@ -341,9 +352,11 @@ def build_result(
     result = KSPRResult(context.focal, context.k, regions, stats)
 
     if finalize_geometry and context.space == TRANSFORMED_SPACE:
-        finalize_start = time.perf_counter()
-        result.finalize_all()
-        stats.add_phase("finalization", time.perf_counter() - finalize_start)
+        with current_tracer().span("query.finalize", regions=len(regions)):
+            finalize_start = time.perf_counter()
+            result.finalize_all()
+            stats.add_phase("finalization", time.perf_counter() - finalize_start)
 
     stats.response_seconds = time.perf_counter() - context.started_at
+    stats.cpu_seconds = time.process_time() - context.cpu_started_at
     return result

@@ -19,6 +19,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..obs.trace import current_tracer
 from ..records import Dataset
 from ..robust import Tolerance
 from .base import (
@@ -32,10 +33,14 @@ from .base import (
 )
 from .result import KSPRResult
 
-__all__ = ["cta", "cta_ticks", "DEFAULT_CHUNK_SIZE"]
+__all__ = ["cta", "cta_ticks", "DEFAULT_CHUNK_SIZE", "TRACE_EVERY_CHUNKS"]
 
 #: Default number of hyperplane insertions per streaming tick.
 DEFAULT_CHUNK_SIZE = 64
+
+#: Progress-event cadence of the tick loop: one trace event every this many
+#: chunks (never per insertion), keeping tracer overhead off the hot path.
+TRACE_EVERY_CHUNKS = 4
 
 
 def cta_ticks(
@@ -59,6 +64,7 @@ def cta_ticks(
         return
     chunk = max(1, int(chunk_size)) if chunk_size is not None else DEFAULT_CHUNK_SIZE
 
+    tracer = current_tracer()
     tree = context.new_celltree()
     chunks = 0
     processed = 0
@@ -83,6 +89,11 @@ def cta_ticks(
                 break
         insertion_seconds += time.perf_counter() - phase_start
         chunks += 1
+        if tracer.enabled and chunks % TRACE_EVERY_CHUNKS == 0:
+            tracer.event(
+                "cta.progress", chunks=chunks, processed=processed,
+                nodes=tree.node_count(),
+            )
         if processed < total and not exhausted:
             yield StreamTick(
                 frontier=capture_frontier(tree, context.effective_k) if capture else (),

@@ -37,6 +37,7 @@ import numpy as np
 from ..index.dominance import DominanceGraph
 from ..index.rtree import AggregateRTree, RTreeNode
 from ..index.skyline import skyline
+from ..obs.trace import current_tracer
 from .base import QueryContext, ReportedCell, StreamTick, build_result, capture_frontier
 from .bounds import RankBounds
 from .cell import CellView
@@ -125,6 +126,7 @@ def progressive_ticks(
         return
 
     k = context.effective_k
+    tracer = current_tracer()
     tree = context.new_celltree()
     graph = DominanceGraph(context.competitors)
     processed: set[int] = set()
@@ -242,6 +244,17 @@ def progressive_ticks(
         if tree.is_exhausted:
             yield finish(emitted)
             return
+
+        if tracer.enabled:
+            # One event per batch: batches are coarse (tens of insertions),
+            # so this stays far off the per-insertion hot path.
+            tracer.event(
+                "progressive.batch",
+                batch=context.stats.batches,
+                processed=len(processed),
+                certified=len(emitted),
+                nodes=tree.node_count(),
+            )
 
         # --- choose the next batch (Section 5) -----------------------------
         next_skyline = skyline(context.tree, exclude_ids=non_pivot_union)

@@ -71,6 +71,11 @@ class QueryStats:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Total response time in seconds (includes finalisation, per Section 7.1).
     response_seconds: float = 0.0
+    #: CPU seconds consumed by the producing process (``time.process_time``
+    #: delta), measured alongside ``response_seconds``.  Differs from the
+    #: wall clock whenever the query slept (stream pauses) or other threads
+    #: held the core; parallel runs report the driver process only.
+    cpu_seconds: float = 0.0
     #: Rough memory footprint of the CellTree plus index, in bytes.
     space_bytes: int = 0
 

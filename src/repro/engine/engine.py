@@ -84,6 +84,9 @@ from ..geometry.halfspace import Hyperplane
 from ..index.rtree import AggregateRTree
 from ..index.skyline import SkybandDelta, SkybandIndex
 from ..index.skyline import skyline as bbs_skyline
+from ..obs.metrics import MetricsRegistry, stats_to_registry, use_registry
+from ..obs.profile import QueryProfile
+from ..obs.trace import Tracer, current_tracer, use_tracer
 from ..records import Dataset, FocalPartition, dominates
 from ..robust import Tolerance, resolve_tolerance
 from .cache import CacheEntry, PartialEntry, PartialStore, ResultCache, options_key
@@ -406,12 +409,24 @@ class Engine:
             return bbs_skyline(self._shared_tree)
 
     def cache_info(self) -> dict[str, int | float]:
-        """Result-cache counters (size, hits, misses, invalidations, ...)."""
+        """Result-cache counters (size, hits, misses, invalidations, ...).
+
+        .. deprecated::
+            Legacy accessor kept for backwards compatibility; the same
+            numbers are served under canonical ``engine.result_cache.*``
+            names by :meth:`metrics`.
+        """
         with self._lock:
             return self._result_cache.info()
 
     def prepared_info(self) -> dict[str, int]:
-        """Prepared-state counters."""
+        """Prepared-state counters.
+
+        .. deprecated::
+            Legacy accessor kept for backwards compatibility; the same
+            numbers are served under canonical ``engine.prepared.*`` names
+            by :meth:`metrics`.
+        """
         with self._lock:
             return {
                 "size": len(self._prepared),
@@ -419,6 +434,124 @@ class Engine:
                 "builds": self.stats.prepared_builds,
                 "reuses": self.stats.prepared_reuses,
             }
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Every engine-side counter as one canonical :class:`MetricsRegistry`.
+
+        This is the unification point for the historical spellings: the
+        :class:`EngineStats` fields, :meth:`cache_info`,
+        :meth:`prepared_info` and :meth:`partial_info` all published
+        overlapping numbers under private names; here each quantity appears
+        exactly once, under its canonical dotted name (``engine.queries``,
+        ``engine.result_cache.hits``, ``engine.partial_store.saved``, …).
+        Where two legacy sources counted the same event (for example
+        ``EngineStats.cache_hits`` and ``cache_info()["hits"]``), the
+        registry records it once.  Counters land as :class:`Counter`,
+        sizes/capacities/accumulated seconds as :class:`Gauge` — ready for
+        :func:`repro.obs.registry_to_prometheus`.
+        """
+        registry = MetricsRegistry()
+        with self._lock:
+            stats = self.stats
+            counters = {
+                "engine.queries": stats.queries,
+                "engine.queries.cold": stats.cold_queries,
+                "engine.prepared.builds": stats.prepared_builds,
+                "engine.prepared.reuses": stats.prepared_reuses,
+                "engine.updates.inserts": stats.inserts,
+                "engine.updates.deletes": stats.deletes,
+                "engine.result_cache.retained": stats.entries_retained,
+                "engine.result_cache.adopted": stats.adopted_results,
+                "engine.stream.queries": stats.stream_queries,
+                "engine.stream.resumes": stats.stream_resumes,
+            }
+            gauges = {
+                "engine.seconds.cold": stats.cold_seconds,
+                "engine.seconds.prepare": stats.prepare_seconds,
+                "engine.prepared.entries": len(self._prepared),
+                "engine.prepared.capacity": self._prepared_capacity,
+                "engine.dataset.cardinality": self._snapshot.cardinality,
+            }
+            cache = self._result_cache.info()
+            partials = self._partials.info()
+        # The caches' own counters are authoritative for cache-level numbers
+        # (EngineStats.cache_hits / partials_saved / entries_invalidated
+        # count the same events and are deliberately not re-recorded).
+        for legacy, name, kind in (
+            ("size", "engine.result_cache.entries", "gauge"),
+            ("capacity", "engine.result_cache.capacity", "gauge"),
+            ("hits", "engine.result_cache.hits", "counter"),
+            ("misses", "engine.result_cache.misses", "counter"),
+            ("insertions", "engine.result_cache.insertions", "counter"),
+            ("evictions", "engine.result_cache.evictions", "counter"),
+            ("invalidated", "engine.result_cache.invalidated", "counter"),
+            ("rekeyed", "engine.result_cache.rekeyed", "counter"),
+        ):
+            (gauges if kind == "gauge" else counters)[name] = cache[legacy]
+        for legacy, name, kind in (
+            ("size", "engine.partial_store.entries", "gauge"),
+            ("capacity", "engine.partial_store.capacity", "gauge"),
+            ("saves", "engine.partial_store.saved", "counter"),
+            ("resumes", "engine.partial_store.resumes", "counter"),
+            ("evictions", "engine.partial_store.evictions", "counter"),
+            ("invalidated", "engine.partial_store.invalidated", "counter"),
+        ):
+            (gauges if kind == "gauge" else counters)[name] = partials[legacy]
+        for name, value in counters.items():
+            registry.counter(name).inc(value)
+        for name, value in gauges.items():
+            registry.gauge(name).set(value)
+        return registry
+
+    def metrics(self) -> dict[str, float]:
+        """Flat ``{canonical name: value}`` snapshot of every engine counter.
+
+        The canonical replacement for reading :attr:`stats`,
+        :meth:`cache_info`, :meth:`prepared_info` and :meth:`partial_info`
+        separately — one name per number, shared with the exporters and the
+        experiment harness.  Equivalent to
+        ``self.metrics_registry().snapshot()``.
+        """
+        return self.metrics_registry().snapshot()
+
+    def profile(
+        self,
+        focal: np.ndarray | Sequence[float],
+        k: int,
+        method: str | None = None,
+        *,
+        workers: int | None = None,
+        approx: "object | None" = None,
+        **options,
+    ) -> QueryProfile:
+        """Run one query under a live tracer and metrics registry; report it.
+
+        The query executes exactly like :meth:`query` except that the
+        result cache is bypassed (no lookup, no install), so the recorded
+        span tree always describes a full cold execution — which is what
+        makes the deterministic projection
+        (:meth:`~repro.obs.QueryProfile.structure`) byte-identical across
+        repeated calls and across worker counts.  The returned
+        :class:`~repro.obs.QueryProfile` carries the span tree, the phase
+        timings, the canonical per-query metrics, the LP constraint-count
+        histogram, and (for ``method="sample"``) the sampler's
+        confidence-interval trajectory; ``print(profile)`` renders the
+        human-readable report, :meth:`~repro.obs.QueryProfile.as_dict` the
+        machine-readable one.
+        """
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_registry(registry):
+            result = self.query(
+                focal, k, method=method, workers=workers, approx=approx,
+                use_cache=False, **options,
+            )
+        try:
+            regions = len(result)
+        except TypeError:  # approximate results measure volume, not regions
+            regions = None
+        stats_to_registry(result.stats, regions=regions, registry=registry)
+        return QueryProfile(result, tracer=tracer, registry=registry)
 
     # ------------------------------------------------------------------ #
     # querying
@@ -430,6 +563,7 @@ class Engine:
         method: str | None = None,
         workers: int | None = None,
         approx: "object | None" = None,
+        use_cache: bool = True,
         **options,
     ) -> KSPRResult | ApproxKSPRResult:
         """Answer one kSPR query, reusing every piece of prepared state it can.
@@ -462,6 +596,11 @@ class Engine:
             delta, seed, mode and chunk are all part of the key, so
             different accuracy contracts never alias) and obeys the same
             rules-1-4 update invalidation.
+        use_cache:
+            ``False`` bypasses the result cache entirely — no lookup, no
+            install — forcing a full cold execution.  Used by
+            :meth:`profile` so a traced run always records the complete
+            span tree; answers are unaffected either way.
 
         Returns
         -------
@@ -500,54 +639,88 @@ class Engine:
         opts = options_key(options)
         key = (snapshot.fingerprint(), focal_array.tobytes(), int(k), method_name, opts)
 
-        with self._lock:
-            self.stats.queries += 1
-            cached = self._result_cache.get(key)
+        tracer = current_tracer()
+        with tracer.span("engine.query", method=method_name, k=int(k)) as query_span:
+            with tracer.span("engine.cache.lookup", bypassed=not use_cache) as lookup:
+                with self._lock:
+                    self.stats.queries += 1
+                    cached = self._result_cache.get(key) if use_cache else None
+                    if cached is not None:
+                        self.stats.cache_hits += 1
+                lookup.set(outcome="hit" if cached is not None else "miss")
             if cached is not None:
-                self.stats.cache_hits += 1
+                query_span.set(cache="hit")
                 return cached
+            query_span.set(cache="miss")
 
-        space = _ORIGINAL if method_name in ("op_cta", "olp_cta") else options.get(
-            "space", _TRANSFORMED
-        )
-        entry, snapshot = self._prepared_for(
-            focal_array, int(k), space, build_tree=method_name != "sample_kspr"
-        )
-
-        cold_start = time.perf_counter()
-        if workers is not None and workers > 1 and method_name == "cta":
-            from ..parallel.subtree import parallel_cta  # local import: avoids a cycle
-
-            result = parallel_cta(
-                snapshot,
-                focal_array,
-                int(k),
-                workers=workers,
-                prepared=entry.prepared,
-                **options,
+            space = _ORIGINAL if method_name in ("op_cta", "olp_cta") else options.get(
+                "space", _TRANSFORMED
             )
-        else:
-            call_options = dict(options)
-            if method_name == "sample_kspr":
-                # Admission already validated (and possibly warned about)
-                # the query; the estimator must not warn a second time.
-                # Neither flag participates in the cache key (warn is
-                # stripped by _effective_options; chunk substreams make the
-                # estimate identical for every worker count).
-                call_options["warn"] = False
-                if workers is not None and workers > 1:
-                    call_options["workers"] = workers
-            result = method_func(
-                snapshot, focal_array, int(k), prepared=entry.prepared, **call_options
-            )
-        cold_seconds = time.perf_counter() - cold_start
+            with tracer.span("engine.prepare") as prepare_span:
+                entry, snapshot = self._prepared_for(
+                    focal_array, int(k), space, build_tree=method_name != "sample_kspr"
+                )
+                prepare_span.set(
+                    space=space,
+                    pruned=entry.pruned,
+                    competitors=int(entry.prepared.partition.competitors.cardinality),
+                )
+
+            with tracer.span("engine.execute") as execute_span:
+                cold_start = time.perf_counter()
+                if workers is not None and workers > 1 and method_name == "cta":
+                    from ..parallel.subtree import parallel_cta  # local import: avoids a cycle
+
+                    result = parallel_cta(
+                        snapshot,
+                        focal_array,
+                        int(k),
+                        workers=workers,
+                        prepared=entry.prepared,
+                        **options,
+                    )
+                else:
+                    call_options = dict(options)
+                    if method_name == "sample_kspr":
+                        # Admission already validated (and possibly warned about)
+                        # the query; the estimator must not warn a second time.
+                        # Neither flag participates in the cache key (warn is
+                        # stripped by _effective_options; chunk substreams make the
+                        # estimate identical for every worker count).
+                        call_options["warn"] = False
+                        if workers is not None and workers > 1:
+                            call_options["workers"] = workers
+                    result = method_func(
+                        snapshot, focal_array, int(k), prepared=entry.prepared, **call_options
+                    )
+                cold_seconds = time.perf_counter() - cold_start
+                if tracer.enabled:
+                    stats = result.stats
+                    # Only counters invariant across worker counts may be
+                    # deterministic attributes.  LP call totals and processed
+                    # records vary slightly between the serial and sharded
+                    # expansions (shards probe their local frontiers), so
+                    # they travel as volatile fields with the timings.
+                    execute_span.set(competitors=int(stats.competitor_records))
+                    try:
+                        execute_span.set(regions=len(result))
+                    except TypeError:
+                        pass
+                    execute_span.note(
+                        algorithm=stats.algorithm,
+                        seconds=cold_seconds,
+                        batches=int(stats.batches),
+                        processed=int(stats.processed_records),
+                        lp_feasibility=int(stats.lp.feasibility_calls),
+                        lp_optimize=int(stats.lp.optimize_calls),
+                    )
 
         with self._lock:
             self.stats.cold_queries += 1
             self.stats.cold_seconds += cold_seconds
             # Guard against a concurrent update: never cache a result computed
             # against a superseded dataset state.
-            if snapshot is self._snapshot:
+            if use_cache and snapshot is self._snapshot:
                 self._result_cache.put(
                     CacheEntry(
                         fingerprint=snapshot.fingerprint(),
@@ -652,6 +825,7 @@ class Engine:
         fingerprint = snapshot.fingerprint()
         key = (fingerprint, focal_array.tobytes(), k, method_name, opts)
         pruned = self._prune and k <= self.k_max
+        tracer = current_tracer()
 
         with self._lock:
             self.stats.queries += 1
@@ -675,6 +849,19 @@ class Engine:
                 elif checkpoint is not None:
                     checkpoint = self._partials.pop(key)
                     self.stats.stream_resumes += 1
+        if tracer.enabled:
+            # Created and finished immediately (never entered as a context
+            # manager): the generator frame runs in its consumer's context,
+            # so entering here would leak the active-span contextvar across
+            # yields.
+            outcome = (
+                "cached" if cached is not None
+                else "resume" if checkpoint is not None
+                else "cold"
+            )
+            checkout = tracer.span("engine.stream.checkout", method=method_name, k=int(k))
+            checkout.set(outcome=outcome)
+            checkout.finish()
         if cached is not None:
             yield PartialKSPRResult.from_result(cached)
             return
@@ -757,13 +944,25 @@ class Engine:
                             )
                         )
                         self.stats.partials_saved += 1
+                        if tracer.enabled:
+                            saved = tracer.span(
+                                "engine.stream.checkpoint", method=method_name, k=int(k)
+                            )
+                            saved.note(batches=int(anytime._batches))
+                            saved.finish()
                     else:
                         # An update the stream never saw raced it: the paused
                         # state may describe a stale competitor set, drop it.
                         anytime.close()
 
     def partial_info(self) -> dict[str, int]:
-        """Paused-stream checkpoint counters (size, saves, resumes, ...)."""
+        """Paused-stream checkpoint counters (size, saves, resumes, ...).
+
+        .. deprecated::
+            Legacy accessor kept for backwards compatibility; the same
+            numbers are served under canonical ``engine.partial_store.*``
+            names by :meth:`metrics`.
+        """
         with self._lock:
             return self._partials.info()
 

@@ -35,6 +35,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from ..exceptions import LPSolverError
+from ..obs.metrics import LP_CONSTRAINTS, active_registry
 from ..robust import Tolerance, resolve_tolerance
 from .halfspace import Halfspace
 
@@ -229,6 +230,9 @@ def solve_feasibility(
     policy = resolve_tolerance(tolerance)
     if counters is not None:
         counters.record("feasibility", matrix.shape[0])
+    registry = active_registry()
+    if registry is not None:
+        registry.histogram(LP_CONSTRAINTS).observe(int(matrix.shape[0]))
     if matrix.shape[0] == 0:
         # No constraints at all: the whole space qualifies; pick its centroid.
         witness = np.full(dimensionality, 1.0 / (dimensionality + 1.0))
@@ -288,6 +292,9 @@ def _optimize(
     )
     if counters is not None:
         counters.record("optimize", matrix.shape[0])
+    registry = active_registry()
+    if registry is not None:
+        registry.histogram(LP_CONSTRAINTS).observe(int(matrix.shape[0]))
     variable_bounds = [(-1.0, 2.0)] * dimensionality
     outcome = linprog(
         np.asarray(objective, dtype=float),

@@ -1,0 +1,233 @@
+"""Exporters for traces and metrics: JSON-lines, Prometheus v0, chrome://tracing.
+
+Three wire formats, all derived from the same in-memory objects:
+
+- :func:`trace_to_jsonl` / :func:`parse_trace_jsonl` — one JSON object per
+  span, schema-validated on the way back in, so dumps round-trip exactly.
+- :func:`registry_to_prometheus` / :func:`parse_prometheus` — the
+  Prometheus text exposition format (version 0.0.4): ``# HELP`` /
+  ``# TYPE`` comments, ``_bucket{le="…"}`` cumulative histogram series,
+  ``_sum`` and ``_count``.  Dotted canonical names are mangled to the
+  ``repro_``-prefixed underscore form Prometheus requires.
+- :func:`trace_to_chrome` — the Trace Event Format understood by
+  ``chrome://tracing`` and Perfetto: complete (``"ph": "X"``) events with
+  microsecond timestamps, span attributes in ``args``.
+
+Parsers exist for the first two so tests can assert lossless round-trips;
+the chrome format is write-only (its consumer is the browser).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any
+
+from .metrics import Histogram, MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "trace_to_jsonl",
+    "parse_trace_jsonl",
+    "registry_to_prometheus",
+    "parse_prometheus",
+    "trace_to_chrome",
+]
+
+#: Required span-record keys and the types accepted for each.
+_SPAN_SCHEMA: dict[str, tuple[type, ...]] = {
+    "span_id": (int,),
+    "parent_id": (int, type(None)),
+    "name": (str,),
+    "detail": (bool,),
+    "start": (int, float),
+    "end": (int, float, type(None)),
+    "attributes": (dict,),
+    "volatile": (dict,),
+    "events": (list,),
+}
+
+_EVENT_SCHEMA: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "elapsed": (int, float),
+    "fields": (dict,),
+}
+
+
+def trace_to_jsonl(tracer: Tracer) -> str:
+    """Serialise every span as one JSON object per line (creation order)."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True, default=_jsonable) for record in tracer.as_dicts()
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback serialiser: numpy scalars and other reprs degrade gracefully."""
+    if hasattr(value, "item"):
+        return value.item()
+    return repr(value)
+
+
+def parse_trace_jsonl(text: str) -> list[dict[str, Any]]:
+    """Parse and schema-validate a JSON-lines trace dump.
+
+    Raises ``ValueError`` on malformed JSON, missing/extra keys, wrong
+    types, or a parent reference to an unknown span — so a passing parse
+    certifies the dump is a well-formed span forest.
+    """
+    records: list[dict[str, Any]] = []
+    seen_ids: set[int] = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"trace line {line_number}: invalid JSON ({error})") from error
+        if not isinstance(record, dict):
+            raise ValueError(f"trace line {line_number}: expected object, got {type(record).__name__}")
+        missing = set(_SPAN_SCHEMA) - set(record)
+        extra = set(record) - set(_SPAN_SCHEMA)
+        if missing or extra:
+            raise ValueError(
+                f"trace line {line_number}: missing keys {sorted(missing)}, extra keys {sorted(extra)}"
+            )
+        for key, kinds in _SPAN_SCHEMA.items():
+            if not isinstance(record[key], kinds):
+                raise ValueError(
+                    f"trace line {line_number}: key {key!r} has type "
+                    f"{type(record[key]).__name__}, expected one of {[k.__name__ for k in kinds]}"
+                )
+        for event in record["events"]:
+            if not isinstance(event, dict) or set(event) != set(_EVENT_SCHEMA):
+                raise ValueError(f"trace line {line_number}: malformed event {event!r}")
+            for key, kinds in _EVENT_SCHEMA.items():
+                if not isinstance(event[key], kinds):
+                    raise ValueError(f"trace line {line_number}: event key {key!r} has wrong type")
+        parent = record["parent_id"]
+        if parent is not None and parent not in seen_ids:
+            raise ValueError(
+                f"trace line {line_number}: parent_id {parent} does not reference an earlier span"
+            )
+        seen_ids.add(record["span_id"])
+        records.append(record)
+    return records
+
+
+def _prometheus_name(name: str) -> str:
+    """Mangle a dotted canonical name into a legal Prometheus metric name."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus v0 text exposition format."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = _prometheus_name(instrument.name)
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            running = 0
+            for bound, count in zip(instrument.bounds, instrument.counts):
+                running += count
+                label = "+Inf" if bound == math.inf else _format_value(float(bound))
+                lines.append(f'{name}_bucket{{le="{label}"}} {running}')
+            lines.append(f"{name}_sum {_format_value(float(instrument.sum))}")
+            lines.append(f"{name}_count {instrument.total}")
+        else:
+            lines.append(f"{name} {_format_value(float(instrument.value))}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus text format into ``{sample name[{labels}]: value}``.
+
+    Validates every non-comment line against the exposition grammar and
+    returns each sample keyed by its full name (labels included verbatim),
+    raising ``ValueError`` on any malformed line — the round-trip test
+    feeds :func:`registry_to_prometheus` output straight back through this.
+    """
+    samples: dict[str, float] = {}
+    typed: set[str] = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in {"counter", "gauge", "histogram"}:
+                raise ValueError(f"prometheus line {line_number}: malformed TYPE comment")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"prometheus line {line_number}: malformed sample {line!r}")
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError as error:
+            raise ValueError(f"prometheus line {line_number}: bad value {raw!r}") from error
+        key = match.group("name")
+        if match.group("labels"):
+            key += "{" + match.group("labels") + "}"
+        if key in samples:
+            raise ValueError(f"prometheus line {line_number}: duplicate sample {key!r}")
+        samples[key] = value
+    if not typed:
+        raise ValueError("prometheus exposition contains no TYPE comments")
+    return samples
+
+
+def trace_to_chrome(tracer: Tracer, *, pid: int = 0) -> dict[str, Any]:
+    """Convert a trace into the ``chrome://tracing`` Trace Event Format.
+
+    Every finished span becomes one complete event (``"ph": "X"``) with
+    microsecond ``ts``/``dur`` relative to the tracer epoch; span events
+    become instant events (``"ph": "i"``).  Serialise with ``json.dump``
+    and load the file in ``chrome://tracing`` or Perfetto.
+    """
+    events: list[dict[str, Any]] = []
+    for record in tracer.as_dicts():
+        end = record["end"] if record["end"] is not None else record["start"]
+        events.append(
+            {
+                "ph": "X",
+                "name": record["name"],
+                "cat": "repro",
+                "ts": record["start"] * 1e6,
+                "dur": (end - record["start"]) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {**record["attributes"], **record["volatile"]},
+            }
+        )
+        for event in record["events"]:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": event["name"],
+                    "cat": "repro",
+                    "ts": event["elapsed"] * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "s": "t",
+                    "args": dict(event["fields"]),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

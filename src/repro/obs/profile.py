@@ -1,0 +1,190 @@
+"""Per-query EXPLAIN reports: span tree, phase timings, counters, histograms.
+
+:func:`explain` turns any finished result (exact or approximate) into a
+:class:`QueryProfile` — a report object that renders as indented text for
+humans (``print(profile)``) and as a plain dict for machines
+(:meth:`QueryProfile.as_dict`).  :meth:`Engine.profile
+<repro.engine.engine.Engine.profile>` produces the richer variant: it runs
+the query under a live :class:`~repro.obs.trace.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`, so the report additionally
+carries the span tree (cache decision, prepare/execute breakdown), the LP
+constraint-count histogram, and the sampler's confidence-interval
+trajectory when the ``sample`` method ran.
+
+The report separates deterministic content from wall-clock content the
+same way spans do: :meth:`QueryProfile.structure` is byte-stable across
+runs and worker counts, while :meth:`QueryProfile.render` includes
+timings and is for eyes, not diffs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import LP_CONSTRAINTS, Histogram, MetricsRegistry, stats_to_registry
+from .trace import Tracer
+
+__all__ = ["QueryProfile", "explain"]
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+class QueryProfile:
+    """Rendered view of one query: result stats + optional trace + metrics.
+
+    Parameters
+    ----------
+    result:
+        The finished :class:`~repro.core.result.KSPRResult` (or approximate
+        result) the report describes.
+    tracer:
+        The tracer that observed the query, or ``None`` when built by
+        :func:`explain` from a bare result.
+    registry:
+        Metrics registry for the query; defaults to the canonical lift of
+        ``result.stats`` via :func:`~repro.obs.metrics.stats_to_registry`.
+    """
+
+    def __init__(
+        self,
+        result,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.result = result
+        self.tracer = tracer
+        if registry is None:
+            registry = stats_to_registry(result.stats, regions=self._region_count())
+        self.registry = registry
+
+    def _region_count(self) -> int | None:
+        try:
+            return len(self.result)
+        except TypeError:  # pragma: no cover - defensive
+            return None
+
+    # -- deterministic projection -----------------------------------------
+    def structure(self) -> str:
+        """Byte-stable span structure (names, nesting, deterministic attrs).
+
+        Empty string when no tracer observed the query.  This is the text
+        the determinism tests compare across repeated runs and across
+        ``workers=1`` vs ``workers=4``.
+        """
+        return self.tracer.structure() if self.tracer is not None else ""
+
+    # -- machine form ------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """The full report as a plain dict (JSON-serialisable modulo numpy)."""
+        stats = self.result.stats
+        return {
+            "algorithm": stats.algorithm,
+            "regions": self._region_count(),
+            "metrics": self.registry.snapshot(),
+            "phase_seconds": dict(stats.phase_seconds),
+            "structure": self.structure(),
+            "spans": self.tracer.as_dicts() if self.tracer is not None else [],
+        }
+
+    # -- human form --------------------------------------------------------
+    def render(self) -> str:
+        """Multi-section text report: span tree, phases, counters, histograms."""
+        stats = self.result.stats
+        lines: list[str] = [f"QUERY PROFILE — {stats.algorithm}"]
+        regions = self._region_count()
+        if regions is not None:
+            lines.append(f"  regions: {regions}")
+        lines.append(
+            f"  wall {stats.response_seconds * 1e3:.2f} ms · cpu {stats.cpu_seconds * 1e3:.2f} ms"
+        )
+
+        if self.tracer is not None and self.tracer.spans:
+            lines.append("")
+            lines.append("SPAN TREE")
+            depth: dict[int, int] = {}
+            for span in self.tracer.spans:
+                level = 0 if span.parent_id is None else depth.get(span.parent_id, 0) + 1
+                depth[span.span_id] = level
+                payload = {**span.attributes, **span.volatile}
+                rendered = " ".join(f"{key}={payload[key]}" for key in sorted(payload))
+                lines.append(
+                    "  " + "  " * level
+                    + f"{span.name} ({span.duration * 1e3:.2f} ms)"
+                    + (f" {rendered}" if rendered else "")
+                )
+
+        if stats.phase_seconds:
+            total = sum(stats.phase_seconds.values()) or 1.0
+            lines.append("")
+            lines.append("PHASES")
+            for phase, seconds in stats.phase_seconds.items():
+                lines.append(
+                    f"  {phase:<14} {seconds * 1e3:9.2f} ms  {_bar(seconds / total)}"
+                )
+
+        lines.append("")
+        lines.append("COUNTERS")
+        lines.append(
+            f"  records processed/competitors/dominators: "
+            f"{stats.processed_records}/{stats.competitor_records}/{stats.dominator_records}"
+        )
+        lines.append(
+            f"  celltree nodes {stats.celltree_nodes} · pruned {stats.cells_pruned_by_bounds}"
+            f" · early {stats.cells_reported_early}"
+        )
+        lines.append(
+            f"  LP feasibility {stats.lp.feasibility_calls} · optimize {stats.lp.optimize_calls}"
+            f" · constraints {stats.lp.total_constraints}"
+        )
+
+        histogram = self.registry._instruments.get(LP_CONSTRAINTS)
+        if isinstance(histogram, Histogram) and histogram.total:
+            lines.append("")
+            lines.append("LP CONSTRAINT HISTOGRAM")
+            peak = max(histogram.counts) or 1
+            for bound, count in zip(histogram.bounds, histogram.counts):
+                if count == 0:
+                    continue
+                label = "+inf" if bound == float("inf") else f"<= {bound:g}"
+                lines.append(f"  {label:>8}  {count:6d}  {_bar(count / peak)}")
+
+        trajectory = self._sampler_trajectory()
+        if trajectory:
+            lines.append("")
+            lines.append("SAMPLER CI TRAJECTORY")
+            for fields in trajectory:
+                lines.append(
+                    f"  look {fields.get('look', '?'):>3}: samples {fields.get('samples', '?'):>8}"
+                    f"  hits {fields.get('hits', '?'):>8}"
+                    f"  ci [{fields.get('lower', float('nan')):.5f}, "
+                    f"{fields.get('upper', float('nan')):.5f}]"
+                )
+        return "\n".join(lines)
+
+    def _sampler_trajectory(self) -> list[dict[str, Any]]:
+        """Per-look sampler events (``approx.look``), in recorded order."""
+        if self.tracer is None:
+            return []
+        trajectory: list[dict[str, Any]] = []
+        for span in self.tracer.spans:
+            for event in span.events:
+                if event.name == "approx.look":
+                    trajectory.append(dict(event.fields))
+        return trajectory
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def explain(result, *, tracer: Tracer | None = None) -> QueryProfile:
+    """Build a :class:`QueryProfile` report for a finished query result.
+
+    Works on any result carrying ``.stats`` — exact, partial, or
+    approximate.  Pass the tracer that observed the query to include the
+    span tree and sampler trajectory; without one, the report covers phase
+    timings, counters and the canonical metrics view only.
+    """
+    return QueryProfile(result, tracer=tracer)

@@ -1,0 +1,379 @@
+"""Span-based tracing for kSPR query execution.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — named, nested,
+monotonic-clock-timed intervals — describing what a query did: engine
+cache lookups, prepared-state builds, CellTree tick progress, LP probes,
+shard commits, stream pauses.  Instrumented code never takes a tracer
+parameter; it asks :func:`current_tracer` (a :mod:`contextvars` lookup, so
+concurrent queries in a :class:`~repro.engine.batch.QueryBatch` or across
+``asyncio`` tasks never see each other's spans) and the default is the
+shared :data:`NULL_TRACER`, whose spans are a single reusable no-op object.
+The disabled path therefore costs one context-variable read plus one
+attribute check — negligible against an LP solve or a CellTree insertion.
+
+Spans separate **deterministic** payload from **wall-clock** payload:
+
+- ``attributes`` (via :meth:`Span.set`) hold counters and labels that must
+  be byte-identical across repeated runs and across worker counts —
+  processed records, LP call totals, cache decisions.
+- ``volatile`` (via :meth:`Span.note`) holds anything timing- or
+  environment-dependent — elapsed seconds, worker counts, algorithm
+  banners that embed a pool size.
+- ``events`` (via :meth:`Span.event`) are point-in-time progress marks
+  (one every *N* CellTree ticks, one per sampler look) and are excluded
+  from the deterministic projection because their cadence may depend on
+  scheduling.
+
+:meth:`Tracer.structure` renders names, nesting, and ``attributes`` only —
+the projection the determinism tests snapshot byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "traced",
+]
+
+
+class SpanEvent:
+    """A point-in-time mark attached to a span.
+
+    Parameters
+    ----------
+    name:
+        Event label, e.g. ``"cta.progress"``.
+    elapsed:
+        Seconds since the owning tracer's epoch (monotonic clock).
+    fields:
+        Free-form payload; treated as volatile (never part of the
+        deterministic projection).
+    """
+
+    __slots__ = ("name", "elapsed", "fields")
+
+    def __init__(self, name: str, elapsed: float, fields: dict[str, Any]):
+        self.name = name
+        self.elapsed = elapsed
+        self.fields = fields
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by the exporters."""
+        return {"name": self.name, "elapsed": self.elapsed, "fields": dict(self.fields)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanEvent({self.name!r}, elapsed={self.elapsed:.6f}, fields={self.fields!r})"
+
+
+class Span:
+    """One named, timed interval in a trace tree.
+
+    Created through :meth:`Tracer.span`; usable as a context manager.  The
+    three payload channels (``attributes`` / ``volatile`` / ``events``) are
+    documented in the module docstring — keeping them separate is what lets
+    the determinism tests assert byte-stable structure while wall-clock
+    readings still flow to the exporters.
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "detail",
+        "attributes",
+        "volatile",
+        "events",
+        "start",
+        "end",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        detail: bool = False,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        #: Detail spans describe scheduling-dependent structure (e.g. one
+        #: span per parallel shard — shard counts vary with the worker
+        #: count), so :meth:`Tracer.structure` excludes them.
+        self.detail = detail
+        self.attributes: dict[str, Any] = {}
+        self.volatile: dict[str, Any] = {}
+        self.events: list[SpanEvent] = []
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self._token = None
+
+    # -- payload -----------------------------------------------------------
+    def set(self, **attributes: Any) -> "Span":
+        """Attach deterministic attributes (counters, labels) to the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def note(self, **fields: Any) -> "Span":
+        """Attach volatile (timing/environment-dependent) fields to the span."""
+        self.volatile.update(fields)
+        return self
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a point-in-time event under this span."""
+        elapsed = time.perf_counter() - self.tracer.epoch
+        self.events.append(SpanEvent(name, elapsed, fields))
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to *now* while the span is still open)."""
+        reference = self.end if self.end is not None else time.perf_counter()
+        return reference - self.start
+
+    def finish(self) -> None:
+        """Close the span (idempotent); records the end timestamp."""
+        if self.end is None:
+            self.end = time.perf_counter()
+
+    def __enter__(self) -> "Span":
+        self._token = _ACTIVE_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+        if self._token is not None:
+            _ACTIVE_SPAN.reset(self._token)
+            self._token = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by the exporters."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "detail": self.detail,
+            "start": self.start - self.tracer.epoch,
+            "end": (self.end - self.tracer.epoch) if self.end is not None else None,
+            "attributes": dict(self.attributes),
+            "volatile": dict(self.volatile),
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration * 1e3:.3f}ms"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class _NullSpan:
+    """Reusable no-op span handed out by :class:`NullTracer`.
+
+    Every mutator returns immediately, so instrumented code pays only the
+    method-dispatch cost when tracing is disabled.  A single module-level
+    instance is shared by all disabled call sites.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        """No-op; returns self for chaining parity with :class:`Span`."""
+        return self
+
+    def note(self, **fields: Any) -> "_NullSpan":
+        """No-op; returns self for chaining parity with :class:`Span`."""
+        return self
+
+    def event(self, name: str, **fields: Any) -> None:
+        """No-op."""
+
+    def finish(self) -> None:
+        """No-op."""
+
+    @property
+    def duration(self) -> float:
+        """Always ``0.0``."""
+        return 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Innermost open span in the current execution context (None at top level).
+_ACTIVE_SPAN: ContextVar[Span | None] = ContextVar("repro_obs_active_span", default=None)
+
+
+class Tracer:
+    """Collects spans for one logical unit of work (typically one query).
+
+    Thread-safe: span-id allocation and registration take an internal lock,
+    so a :class:`~repro.engine.batch.QueryBatch` serving from worker
+    threads can share one tracer.  Span *nesting*, however, follows
+    :mod:`contextvars`, so each thread/task nests only its own spans.
+
+    Span ids are allocated sequentially in creation order; on a
+    single-threaded profile run the id sequence — and therefore
+    :meth:`structure` — is fully deterministic.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(spans={len(self.spans)})"
+
+    def span(self, name: str, detail: bool = False, **attributes: Any):
+        """Open a new child span of the context's active span.
+
+        Returns the :class:`Span` for use as a context manager; keyword
+        arguments become deterministic attributes.  ``detail=True`` marks
+        the span as scheduling-dependent structure, excluded from
+        :meth:`structure`.
+        """
+        parent = _ACTIVE_SPAN.get()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            created = Span(
+                self, name, span_id,
+                parent.span_id if parent is not None else None,
+                detail=detail,
+            )
+            self.spans.append(created)
+        if attributes:
+            created.set(**attributes)
+        return created
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record an event on the context's active span (dropped at top level)."""
+        active = _ACTIVE_SPAN.get()
+        if active is not None:
+            active.event(name, **fields)
+
+    def clear(self) -> None:
+        """Drop all recorded spans and restart the id sequence."""
+        with self._lock:
+            self.spans.clear()
+            self._next_id = 0
+            self.epoch = time.perf_counter()
+
+    # -- deterministic projection -----------------------------------------
+    def structure(self) -> str:
+        """Render names, nesting, and deterministic attributes as stable text.
+
+        One line per span in creation order, indented by tree depth, with
+        attributes sorted by key: the byte-stable projection asserted by
+        the determinism tests.  ``volatile`` fields, ``events``, and
+        ``detail`` spans (with their subtrees) are deliberately absent.
+        """
+        with self._lock:
+            spans = list(self.spans)
+        depth: dict[int, int] = {}
+        skipped: set[int] = set()
+        lines: list[str] = []
+        for span in spans:
+            if span.detail or span.parent_id in skipped:
+                skipped.add(span.span_id)
+                continue
+            level = 0 if span.parent_id is None else depth.get(span.parent_id, 0) + 1
+            depth[span.span_id] = level
+            rendered = " ".join(
+                f"{key}={span.attributes[key]!r}" for key in sorted(span.attributes)
+            )
+            lines.append("  " * level + span.name + (f" [{rendered}]" if rendered else ""))
+        return "\n".join(lines)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Every span as a plain dict, in creation order (exporter input)."""
+        with self._lock:
+            return [span.as_dict() for span in self.spans]
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: hands out one shared no-op span and records nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, detail: bool = False, **attributes: Any):
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields: Any) -> None:
+        """No-op."""
+
+
+#: Process-wide default tracer — tracing off unless :func:`use_tracer` installs one.
+NULL_TRACER = NullTracer()
+
+_TRACER: ContextVar[Tracer] = ContextVar("repro_obs_tracer", default=NULL_TRACER)
+
+
+def current_tracer() -> Tracer:
+    """The tracer installed for the current execution context.
+
+    Defaults to :data:`NULL_TRACER`; instrumented hot paths call this once
+    per logical operation and branch on ``tracer.enabled`` for anything
+    beyond opening spans.
+    """
+    return _TRACER.get()
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install *tracer* as :func:`current_tracer` for the enclosed block."""
+    token = _TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _TRACER.reset(token)
+
+
+def traced(name: str | None = None, **attributes: Any) -> Callable:
+    """Decorator form of the span API.
+
+    Wraps the function body in a span named *name* (default: the function's
+    qualified name) on whatever tracer is current at call time — so a
+    decorated helper is free under the default :data:`NULL_TRACER` and
+    traced under :meth:`Engine.profile <repro.engine.engine.Engine.profile>`.
+    """
+
+    def decorate(function: Callable) -> Callable:
+        span_name = name or function.__qualname__
+
+        @functools.wraps(function)
+        def wrapper(*args: Any, **kwargs: Any):
+            with current_tracer().span(span_name, **attributes):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -49,6 +49,8 @@ from ..core.celltree import CellTree
 from ..core.result import FrontierCell, KSPRResult
 from ..geometry.halfspace import Hyperplane
 from ..geometry.linprog import ConstraintStack, LPCounters
+from ..obs.metrics import LP_CONSTRAINTS, MetricsRegistry, active_registry, use_registry
+from ..obs.trace import current_tracer
 from ..records import Dataset
 from ..robust import Tolerance
 from .shards import SubtreeShard, resolve_workers
@@ -65,18 +67,23 @@ def _active_leaf_count(tree: CellTree) -> int:
 
 
 def _expand_shard_group(
-    payload: tuple[int, int, list[Hyperplane], list[SubtreeShard], Tolerance | None],
-) -> list[tuple[int, list[tuple[tuple, int, np.ndarray | None]], tuple[int, int, int], int]]:
+    payload: tuple[int, int, list[Hyperplane], list[SubtreeShard], Tolerance | None, bool],
+) -> list[tuple]:
     """Worker entry point: expand a group of subtree shards to completion.
 
     Returns, per shard, its index, the reported cells (local bounding
-    halfspaces, absolute rank, witness), the LP counter totals and the
-    number of CellTree nodes created.
+    halfspaces, absolute rank, witness), the LP counter totals, the number
+    of CellTree nodes created, the shard's wall-clock seconds, and — when
+    the driver asked for histogram collection — the shard's LP
+    constraint-count bucket counts (fixed bounds, so the driver-side merge
+    is exact and worker-count-invariant).
     """
-    dimensionality, k, hyperplanes, shards, tolerance = payload
+    dimensionality, k, hyperplanes, shards, tolerance, collect_histogram = payload
     results = []
     for shard in shards:
+        shard_start = time.perf_counter()
         counters = LPCounters()
+        registry = MetricsRegistry() if collect_histogram else None
         constraints = ConstraintStack.for_space(dimensionality)
         for halfspace in shard.prefix:
             constraints = constraints.push(halfspace)
@@ -89,10 +96,17 @@ def _expand_shard_group(
             root_witnesses=shard.witnesses,
             tolerance=tolerance,
         )
-        for hyperplane in hyperplanes:
-            tree.insert(hyperplane)
-            if tree.is_exhausted:
-                break
+        if registry is not None:
+            with use_registry(registry):
+                for hyperplane in hyperplanes:
+                    tree.insert(hyperplane)
+                    if tree.is_exhausted:
+                        break
+        else:
+            for hyperplane in hyperplanes:
+                tree.insert(hyperplane)
+                if tree.is_exhausted:
+                    break
         cells = []
         for leaf in tree.iter_active_leaves():
             rank_local = leaf.rank()
@@ -104,12 +118,19 @@ def _expand_shard_group(
                         leaf.witness,
                     )
                 )
+        if registry is not None:
+            histogram = registry.histogram(LP_CONSTRAINTS)
+            histogram_payload = (list(histogram.counts), histogram.total, histogram.sum)
+        else:
+            histogram_payload = None
         results.append(
             (
                 shard.index,
                 cells,
                 (counters.feasibility_calls, counters.optimize_calls, counters.total_constraints),
                 tree.node_count(),
+                time.perf_counter() - shard_start,
+                histogram_payload,
             )
         )
     return results
@@ -142,6 +163,8 @@ def parallel_ticks(
         yield StreamTick(done=True)
         return
 
+    tracer = current_tracer()
+    registry = active_registry()
     context.prime_hyperplanes()
     hyperplanes = [context.hyperplane_for(int(record_id)) for record_id in context.competitors.ids]
     tree = context.new_celltree()
@@ -209,6 +232,10 @@ def parallel_ticks(
             )
         )
     context.stats.processed_records += len(remaining)
+    if tracer.enabled:
+        tracer.event(
+            "parallel.seeded", seeded=seeded, shards=len(shards), workers=workers
+        )
 
     # Round-robin shards into one task per worker; cell order is restored by
     # the in-order commit of the merge loop below.
@@ -221,6 +248,7 @@ def parallel_ticks(
             remaining,
             group,
             context.tolerance,
+            registry is not None,
         )
         for group in groups
     ]
@@ -229,16 +257,23 @@ def parallel_ticks(
     shard_by_index = {shard.index: shard for shard in shards}
     shard_order = sorted(shard_by_index)
     cells_by_index: dict[int, list] = {}
+    meta_by_index: dict[int, tuple] = {}
     committed = 0
     extra_nodes = 0
     batches = 0
 
     def consume_group(group_result) -> None:
         nonlocal extra_nodes
-        for shard_index, cells, counter_totals, nodes_created in group_result:
+        for shard_index, cells, counter_totals, nodes_created, elapsed, histogram in group_result:
             cells_by_index[shard_index] = cells
+            meta_by_index[shard_index] = (counter_totals, nodes_created, elapsed)
             worker_counters = LPCounters(*counter_totals)
             context.counters.merge(worker_counters)
+            if registry is not None and histogram is not None:
+                # Fixed bucket bounds make this merge exact: the summed
+                # distribution equals the single-process run's, regardless
+                # of how shards were grouped onto workers.
+                registry.histogram(LP_CONSTRAINTS).merge_counts(*histogram)
             extra_nodes += nodes_created - 1  # the worker root IS the seed leaf
 
     def commit_ready() -> list[ReportedCell]:
@@ -251,6 +286,21 @@ def parallel_ticks(
                 new_cells.append(
                     ReportedCell(halfspaces=prefix + local_path, rank=rank, witness=witness)
                 )
+            if tracer.enabled:
+                # Shard spans surface in commit order — i.e. deterministic
+                # by shard id, mirroring the ordered-commit merge.  They are
+                # `detail` spans because the shard layout itself depends on
+                # the worker count.
+                counter_totals, nodes_created, elapsed = meta_by_index[shard_index]
+                with tracer.span("parallel.shard", detail=True) as shard_span:
+                    shard_span.set(
+                        shard=shard_index,
+                        cells=len(cells_by_index[shard_index]),
+                        nodes=nodes_created,
+                        lp_feasibility=counter_totals[0],
+                        lp_optimize=counter_totals[1],
+                    )
+                    shard_span.note(seconds=elapsed)
             committed += 1
         return new_cells
 

@@ -44,6 +44,7 @@ from ..core.progressive import progressive_ticks
 from ..core.query import resolve_method, validate_query
 from ..core.result import KSPRResult, PartialKSPRResult, PreferenceRegion
 from ..exceptions import InvalidQueryError
+from ..obs.trace import current_tracer
 from ..records import Dataset
 from ..robust import Tolerance
 
@@ -137,6 +138,7 @@ class AnytimeQuery:
         #: excluded from response-time accounting — including a pause taken
         #: before any tick was consumed (e.g. a deadline=0 checkpoint).
         self._idle_since: float | None = time.perf_counter()
+        self._advanced_before = False
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
@@ -187,36 +189,57 @@ class AnytimeQuery:
         batch / chunk / shard commit.
         """
         budget = StreamBudget(deadline=deadline, max_batches=max_batches, cancel=cancel)
-        while not self._done and not budget.exhausted():
-            with self._lock:
-                if self._done:
-                    break
-                if self._error is not None:
-                    raise InvalidQueryError(
-                        f"the stream previously failed ({self._error!r}) and cannot resume"
-                    ) from self._error
-                if self._idle_since is not None:
-                    # Shift the response-time baseline past the pause so
-                    # elapsed/response seconds measure compute, not the time
-                    # the query sat suspended between advances.
-                    self._context.started_at += time.perf_counter() - self._idle_since
-                    self._idle_since = None
-                try:
-                    tick = next(self._ticks, None)
-                except BaseException as error:
-                    # The producer crashed: surface it now and on every later
-                    # advance — a dead stream must never look completed.
-                    self._error = error
-                    raise
-                if tick is None:
-                    self._error = InvalidQueryError(
-                        "the tick stream ended without its terminal work unit"
-                    )
-                    raise self._error
-                snapshot = self._consume(tick)
-                self._idle_since = time.perf_counter()
-            budget.consumed += 1
-            yield snapshot
+        # The span is created (not entered): a generator's frames run in the
+        # caller's context at each pull, so contextvar-scoped entry would
+        # leak across yields.  Events land on the span object directly.
+        was_resumed = self._advanced_before
+        span = current_tracer().span("stream.advance", resumed=was_resumed)
+        self._advanced_before = True
+        resume_noted = False
+        try:
+            while not self._done and not budget.exhausted():
+                with self._lock:
+                    if self._done:
+                        break
+                    if self._error is not None:
+                        raise InvalidQueryError(
+                            f"the stream previously failed ({self._error!r}) and cannot resume"
+                        ) from self._error
+                    if self._idle_since is not None:
+                        # Shift the response-time baseline past the pause so
+                        # elapsed/response seconds measure compute, not the time
+                        # the query sat suspended between advances.
+                        paused = time.perf_counter() - self._idle_since
+                        self._context.started_at += paused
+                        self._idle_since = None
+                        # The baseline also shifts between yields of one
+                        # advance() call (consumer pacing); only the first
+                        # shift of a re-issued advance() is a stream resume.
+                        if was_resumed and not resume_noted:
+                            span.event("stream.resume", paused_seconds=paused)
+                            resume_noted = True
+                    try:
+                        tick = next(self._ticks, None)
+                    except BaseException as error:
+                        # The producer crashed: surface it now and on every later
+                        # advance — a dead stream must never look completed.
+                        self._error = error
+                        raise
+                    if tick is None:
+                        self._error = InvalidQueryError(
+                            "the tick stream ended without its terminal work unit"
+                        )
+                        raise self._error
+                    snapshot = self._consume(tick)
+                    self._idle_since = time.perf_counter()
+                budget.consumed += 1
+                yield snapshot
+            if not self._done:
+                span.event("stream.pause", consumed=budget.consumed)
+        finally:
+            span.note(consumed=budget.consumed)
+            span.set(done=self._done)
+            span.finish()
 
     def run(self) -> KSPRResult:
         """Drain the stream to completion and return the exact result."""

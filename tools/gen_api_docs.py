@@ -65,6 +65,15 @@ PAGES: dict[str, tuple[str, list[str]]] = {
         ],
     ),
     "stream": ("repro.stream — anytime queries", ["repro.stream.anytime"]),
+    "obs": (
+        "repro.obs — tracing, metrics, and profiling",
+        [
+            "repro.obs.trace",
+            "repro.obs.metrics",
+            "repro.obs.export",
+            "repro.obs.profile",
+        ],
+    ),
     "robust": (
         "repro.robust — numerical policy and validation",
         ["repro.robust.tolerance", "repro.robust.validation"],
