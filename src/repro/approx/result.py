@@ -300,6 +300,24 @@ class ApproxKSPRResult:
         epsilon = self.epsilon if epsilon is None else float(epsilon)
         return self.half_width(method) <= epsilon
 
+    def covers(
+        self,
+        probability: float,
+        method: str = "clopper-pearson",
+        delta: float | None = None,
+    ) -> bool:
+        """Whether ``probability`` lies inside :meth:`confidence_interval`.
+
+        The *two-phase honesty* predicate of the serving tier
+        (:mod:`repro.serve`): when an approximate answer was served first and
+        the exact refinement arrives later, the exact impact probability must
+        be covered by the interval the client already acted on — with
+        probability at least ``1 - delta`` by the interval construction, and
+        deterministically for a fixed seed in the reproducibility tests.
+        """
+        lower, upper = self.confidence_interval(method, delta)
+        return lower <= float(probability) <= upper
+
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #

@@ -340,6 +340,34 @@ class Engine:
             options.update(ApproxSpec(**overrides).as_options())
         return options
 
+    def canonical_key(
+        self,
+        focal: np.ndarray | Sequence[float],
+        k: int,
+        method: str | None = None,
+        options: dict | None = None,
+        fingerprint: str | None = None,
+    ) -> tuple:
+        """The cache key this query would be served under, without computing it.
+
+        Two queries share an answer exactly when their canonical keys are
+        equal: the key folds in the dataset fingerprint, the focal bytes,
+        ``k``, the resolved method name and the canonicalised options (engine
+        defaults applied, tolerances resolved, ``approx=`` spellings expanded
+        — the same normalisation :meth:`query` performs before its cache
+        lookup).  Serving layers use this for **single-flight de-duplication**:
+        concurrent identical requests collapse onto one execution by keying
+        their in-flight table on the canonical key.  ``fingerprint`` pins the
+        key to a specific dataset state (default: the current one).
+        """
+        method_name, _ = resolve_method(method or self._default_method)
+        focal_array = np.asarray(focal, dtype=float)
+        opts = options_key(self._effective_options(dict(options or {}), method_name))
+        with self._lock:
+            if fingerprint is None:
+                fingerprint = self._snapshot.fingerprint()
+        return (fingerprint, focal_array.tobytes(), int(k), method_name, opts)
+
     def dominator_counts(self) -> np.ndarray:
         """Per-record dominator counts aligned with ``dataset`` rows.
 
@@ -744,6 +772,7 @@ class Engine:
         method: str | None = None,
         *,
         deadline: float | None = None,
+        deadline_at: float | None = None,
         max_batches: int | None = None,
         cancel: threading.Event | Callable[[], bool] | None = None,
         workers: int | None = None,
@@ -760,7 +789,11 @@ class Engine:
         which is also installed in the result cache, so a follow-up
         :meth:`query` hits.
 
-        ``deadline`` (seconds), ``max_batches`` and ``cancel`` bound the
+        ``deadline`` (seconds), ``deadline_at`` (an absolute
+        :func:`time.perf_counter` instant — the form a serving layer
+        propagates one request deadline through, charging queueing and
+        compute against a single budget; the earlier of the two wins when
+        both are given), ``max_batches`` and ``cancel`` bound the
         stream; when the budget runs out (or the consumer abandons the
         iterator) the suspended query is checkpointed in the partial-result
         cache under the same tolerance-aware key as the result cache.
@@ -785,7 +818,7 @@ class Engine:
         # never saves a ghost checkpoint.
         from ..stream.anytime import StreamBudget  # local: engine <-> stream
 
-        StreamBudget(deadline=deadline, max_batches=max_batches)
+        StreamBudget(deadline=deadline, max_batches=max_batches, deadline_at=deadline_at)
         method_name, _ = resolve_method(method or self._default_method)
         if method_name == "sample_kspr":
             raise InvalidQueryError(
@@ -800,8 +833,8 @@ class Engine:
         opts = options_key(options)
         return self._stream(
             snapshot, focal_array, int(k), method_name, options, opts,
-            deadline=deadline, max_batches=max_batches, cancel=cancel,
-            workers=workers, capture=capture,
+            deadline=deadline, deadline_at=deadline_at, max_batches=max_batches,
+            cancel=cancel, workers=workers, capture=capture,
         )
 
     def _stream(
@@ -814,6 +847,7 @@ class Engine:
         opts: tuple,
         *,
         deadline: float | None,
+        deadline_at: float | None,
         max_batches: int | None,
         cancel: threading.Event | Callable[[], bool] | None,
         workers: int | None,
@@ -896,7 +930,8 @@ class Engine:
 
         try:
             for partial in anytime.advance(
-                deadline=deadline, max_batches=max_batches, cancel=cancel
+                deadline=deadline, deadline_at=deadline_at,
+                max_batches=max_batches, cancel=cancel,
             ):
                 if partial.done:
                     result = anytime.result()

@@ -42,11 +42,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class WorkloadQuery:
-    """One trace entry: a focal record, a shortlist size, an optional method."""
+    """One trace entry: a focal record, a shortlist size, optional overrides.
+
+    ``tenant`` identifies the (simulated) customer issuing the query — the
+    unit the serving tier's admission control budgets on.  ``None`` (the
+    default, and the value for every pre-tenant trace) means "anonymous";
+    :func:`replay` and :meth:`spec` ignore it, so tenant-annotated traces
+    replay unchanged through the non-tenant surfaces.
+    """
 
     focal: tuple[float, ...]
     k: int
     method: str | None = None
+    tenant: str | None = None
 
     def spec(self) -> QuerySpec:
         """The equivalent :class:`~repro.engine.batch.QuerySpec`."""
@@ -76,6 +84,11 @@ class Workload:
         """Number of distinct (focal, k, method) triples in the trace."""
         return len({(query.focal, query.k, query.method) for query in self.queries})
 
+    @property
+    def unique_tenants(self) -> int:
+        """Number of distinct tenant identifiers in the trace (0 if untagged)."""
+        return len({query.tenant for query in self.queries if query.tenant is not None})
+
     # ------------------------------------------------------------------ #
     # serialisation
     # ------------------------------------------------------------------ #
@@ -85,7 +98,12 @@ class Workload:
             {
                 "metadata": self.metadata,
                 "queries": [
-                    {"focal": list(query.focal), "k": query.k, "method": query.method}
+                    {
+                        "focal": list(query.focal),
+                        "k": query.k,
+                        "method": query.method,
+                        **({"tenant": query.tenant} if query.tenant is not None else {}),
+                    }
                     for query in self.queries
                 ],
             }
@@ -101,6 +119,7 @@ class Workload:
                     focal=tuple(float(value) for value in query["focal"]),
                     k=int(query["k"]),
                     method=query.get("method"),
+                    tenant=query.get("tenant"),
                 )
                 for query in decoded["queries"]
             ],
@@ -145,6 +164,8 @@ def generate_workload(
     k_choices: Sequence[int] | None = None,
     perturb: float = 0.0,
     method: str | None = None,
+    tenants: int | None = None,
+    tenant_zipf_s: float = 1.1,
     seed: int | None = None,
     rng: np.random.Generator | int | None = None,
 ) -> Workload:
@@ -170,6 +191,18 @@ def generate_workload(
         focal once (0 keeps exact record values).
     method:
         Optional per-query method override recorded in the trace.
+    tenants:
+        Tag each query with a tenant id drawn from ``tenants`` simulated
+        customers (``"tenant-0000"`` ... zero-padded, so ids sort).  Like
+        real multi-tenant traffic, tenant activity is itself Zipf-skewed
+        (``tenant_zipf_s``): a few hot tenants issue most of the queries —
+        exactly the shape per-tenant admission budgets in
+        :mod:`repro.serve` exist to contain.  ``None`` (default) leaves the
+        trace untagged, byte-identical to pre-tenant traces for the same
+        seed.
+    tenant_zipf_s:
+        Skew exponent of the tenant-activity Zipf law (ignored without
+        ``tenants``).
     seed:
         Seed for reproducible traces (same seed ⇒ identical workload).
     rng:
@@ -205,13 +238,28 @@ def generate_workload(
         ks = rng.integers(low, high + 1, size=size)
     ks = np.minimum(ks, dataset.cardinality)
 
+    # Tenant tagging draws *after* the focal/k draws, so untagged traces
+    # (tenants=None) are byte-identical to pre-tenant ones for the same seed.
+    if tenants is not None:
+        if int(tenants) < 1:
+            raise InvalidQueryError("tenants must be a positive integer")
+        tenant_count = int(tenants)
+        width = max(4, len(str(tenant_count - 1)))
+        tenant_indices = rng.choice(
+            tenant_count, size=size, p=zipf_weights(tenant_count, tenant_zipf_s)
+        )
+        tenant_ids = [f"tenant-{int(index):0{width}d}" for index in tenant_indices]
+    else:
+        tenant_ids = [None] * size
+
     queries = [
         WorkloadQuery(
             focal=tuple(float(value) for value in candidates[int(index)]),
             k=int(k),
             method=method,
+            tenant=tenant,
         )
-        for index, k in zip(focal_indices, ks)
+        for index, k, tenant in zip(focal_indices, ks, tenant_ids)
     ]
     return Workload(
         queries=queries,
@@ -222,6 +270,8 @@ def generate_workload(
             "k_range": list(k_range) if k_choices is None else None,
             "k_choices": list(k_choices) if k_choices is not None else None,
             "perturb": perturb,
+            "tenants": None if tenants is None else int(tenants),
+            "tenant_zipf_s": tenant_zipf_s if tenants is not None else None,
             "seed": seed,
             "dataset": dataset.name,
             "cardinality": dataset.cardinality,

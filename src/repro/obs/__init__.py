@@ -25,6 +25,7 @@ from .export import (
     trace_to_jsonl,
 )
 from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
     DEFAULT_LP_BUCKETS,
     LEGACY_ALIASES,
     LP_CONSTRAINTS,
@@ -65,6 +66,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LP_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
     "LP_CONSTRAINTS",
     "LEGACY_ALIASES",
     "active_registry",

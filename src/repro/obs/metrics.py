@@ -41,6 +41,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LP_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
     "LP_CONSTRAINTS",
     "LEGACY_ALIASES",
     "active_registry",
@@ -56,6 +57,15 @@ DEFAULT_LP_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 
 
 #: Canonical histogram name for constraint counts of LP probes.
 LP_CONSTRAINTS = "query.lp.constraints"
+
+#: Upper bucket bounds (inclusive, seconds) for request-latency histograms —
+#: powers of two from 0.25ms to ~8s plus +inf.  Fixed like the LP buckets so
+#: latency histograms recorded by concurrent serving tasks (or shipped back
+#: from workers) merge exactly; used by ``repro.serve`` for time-to-first-
+#: answer and refinement-latency distributions.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    0.00025 * 2.0 ** exponent for exponent in range(16)
+) + (math.inf,)
 
 #: Every legacy spelling -> its canonical dotted name.  ``EngineStats``
 #: fields, ``ResultCache.info()`` / ``PartialStore.info()`` keys and

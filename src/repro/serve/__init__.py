@@ -1,0 +1,69 @@
+"""repro.serve — the asyncio serving tier: estimate now, exact soon.
+
+An HTTP front-end over :class:`~repro.engine.Engine` built entirely on the
+standard library (``asyncio.start_server``; no web framework), turning the
+repo's query stack into a servable system:
+
+- :mod:`repro.serve.protocol` — the wire dialect: :func:`parse_request`,
+  event payload builders, SSE framing.
+- :mod:`repro.serve.admission` — load shedding before any engine work:
+  per-tenant token budgets, a concurrency cap, and expired-deadline
+  rejection, with an exactly-once :class:`Checkout` per admitted request.
+- :mod:`repro.serve.service` — :class:`KSPRService`, the transport-free
+  core: two-phase ``answer`` (sampled estimate in milliseconds, exact
+  refinement pushed later, single-flight deduplicated, cancelled
+  cooperatively when every client disconnects) and anytime ``stream``
+  (deadline-propagating partial results over the engine's checkpointing
+  stream).
+- :mod:`repro.serve.http` — :class:`ServeServer`, the SSE/JSON HTTP/1.1
+  binding.
+- :mod:`repro.serve.client` — :class:`ServeClient`, the matching asyncio
+  client (incremental SSE decoding, used by the load benchmark).
+
+Every request path is traced and measured through :mod:`repro.obs`; see
+``docs/guides/serving.md`` for the operational walkthrough.
+"""
+
+from .admission import AdmissionController, AdmissionError, Checkout, TokenBucket
+from .client import ServeClient, ServeHTTPError
+from .http import ServeServer
+from .protocol import (
+    BadRequest,
+    ServeRequest,
+    approx_payload,
+    error_payload,
+    exact_payload,
+    format_sse,
+    parse_request,
+    parse_sse,
+    partial_payload,
+    paused_payload,
+)
+from .service import KSPRService, ServeConfig, TwoPhaseAnswer
+
+__all__ = [
+    # protocol
+    "BadRequest",
+    "ServeRequest",
+    "parse_request",
+    "approx_payload",
+    "exact_payload",
+    "partial_payload",
+    "paused_payload",
+    "error_payload",
+    "format_sse",
+    "parse_sse",
+    # admission
+    "AdmissionError",
+    "TokenBucket",
+    "Checkout",
+    "AdmissionController",
+    # service
+    "ServeConfig",
+    "TwoPhaseAnswer",
+    "KSPRService",
+    # http + client
+    "ServeServer",
+    "ServeClient",
+    "ServeHTTPError",
+]

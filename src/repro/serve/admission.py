@@ -1,0 +1,312 @@
+"""Admission control: per-tenant token budgets, concurrency caps, deadlines.
+
+The serving tier sheds load *before* any engine work happens, so an
+overloaded deployment degrades by rejecting cheaply instead of queueing
+unboundedly:
+
+* **per-tenant token buckets** — every tenant owns a
+  :class:`TokenBucket` (capacity = burst allowance, refill rate = sustained
+  request budget); a request that cannot afford its ``cost`` is rejected
+  with ``429 over_budget`` and a ``retry_after`` hint computed from the
+  refill rate.  Anonymous requests share one bucket, so an unidentified
+  client cannot starve identified tenants.
+* **concurrency cap** — at most ``max_concurrent`` admitted requests may be
+  alive at once (a request stays alive until its *entire* lifecycle ends,
+  background refinement included); beyond that the controller rejects with
+  ``503 queue_full`` rather than queueing, which keeps time-to-first-answer
+  bounded under overload.
+* **deadline gate** — a request whose deadline is already expired (zero or
+  negative ``deadline_ms``, or an instant in the past) is rejected with
+  ``408 deadline_expired`` *here*, never started and abandoned mid-query.
+
+Every admitted request is represented by a :class:`Checkout` that must be
+released exactly once; the controller tracks the live set, so "no orphaned
+checkout after a client disconnect" is a directly assertable invariant
+(:attr:`AdmissionController.active` returns to zero).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable
+
+from ..exceptions import InvalidQueryError, ReproError
+
+__all__ = [
+    "AdmissionError",
+    "TokenBucket",
+    "Checkout",
+    "AdmissionController",
+]
+
+#: Bucket key for requests without a tenant id.
+_ANONYMOUS = "(anonymous)"
+
+
+class AdmissionError(ReproError):
+    """A request the controller refused to start.
+
+    Parameters
+    ----------
+    reason:
+        Machine-readable label: ``"over_budget"``, ``"queue_full"`` or
+        ``"deadline_expired"``.
+    message:
+        Human-readable explanation.
+    status:
+        The HTTP status the front-end maps this rejection onto.
+    retry_after:
+        Seconds until a retry could plausibly succeed (token-bucket
+        rejections only; ``None`` otherwise).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str,
+        *,
+        status: int,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.message = message
+        self.status = int(status)
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """A standard token bucket: ``capacity`` burst, ``refill_rate`` tokens/s.
+
+    Deterministic given the injected clock (tests pass a fake), lazy (tokens
+    accrue on access, no timers), and never above ``capacity``.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_rate: float,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity <= 0:
+            raise InvalidQueryError("token bucket capacity must be positive")
+        if refill_rate <= 0:
+            raise InvalidQueryError("token bucket refill rate must be positive")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.refill_rate)
+        self._updated = now
+
+    def tokens(self, now: float | None = None) -> float:
+        """Current token balance (after lazy refill)."""
+        self._refill(self._clock() if now is None else now)
+        return self._tokens
+
+    def try_take(self, cost: float, now: float | None = None) -> float | None:
+        """Spend ``cost`` tokens; ``None`` on success, else seconds-to-afford.
+
+        The failure value is the ``retry_after`` hint: how long the bucket
+        needs (at its refill rate) before the same request could succeed.
+        """
+        now = self._clock() if now is None else now
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return None
+        deficit = cost - self._tokens
+        return deficit / self.refill_rate
+
+    def refund(self, amount: float) -> None:
+        """Return tokens (e.g. for work rejected downstream); capped at capacity."""
+        self._tokens = min(self.capacity, self._tokens + float(amount))
+
+
+class Checkout:
+    """One admitted request's hold on serving capacity.
+
+    Created only by :meth:`AdmissionController.admit`; release exactly once
+    when the request's lifecycle ends — normal completion, rejection
+    downstream, *or client disconnect* (the satellite regression this PR
+    fixes: abandoned refinements must not leak their slot).  ``release`` is
+    idempotent, and the context-manager form releases on exit.
+    """
+
+    __slots__ = ("tenant", "cost", "admitted_at", "_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController", tenant: str, cost: float, admitted_at: float) -> None:
+        self.tenant = tenant
+        self.cost = cost
+        self.admitted_at = admitted_at
+        self._controller = controller
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        """Whether this checkout has already been released."""
+        return self._released
+
+    def release(self) -> None:
+        """Free the concurrency slot (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._controller._release(self)
+
+    def __enter__(self) -> "Checkout":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Decides, per request, whether the serving tier may start work.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Cap on simultaneously-live checkouts (0 disables admission
+        entirely — every request is rejected ``queue_full``).
+    tenant_burst:
+        Token-bucket capacity per tenant (burst allowance).
+    tenant_rate:
+        Token refill per second per tenant (sustained budget).
+    tenant_overrides:
+        Optional ``{tenant: (burst, rate)}`` map for tenants with
+        non-default budgets.
+    clock:
+        Time source (monotonic seconds); inject a fake for deterministic
+        tests.  Must be the same clock that produced any ``deadline_at``
+        instants handed to :meth:`admit`.
+
+    Thread-safe: the HTTP tier calls it from the event loop, benchmarks and
+    tests from arbitrary threads.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_concurrent: int = 64,
+        tenant_burst: float = 64.0,
+        tenant_rate: float = 32.0,
+        tenant_overrides: dict[str, tuple[float, float]] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_concurrent < 0:
+            raise InvalidQueryError("max_concurrent must be non-negative")
+        self.max_concurrent = int(max_concurrent)
+        self._tenant_burst = float(tenant_burst)
+        self._tenant_rate = float(tenant_rate)
+        self._overrides = dict(tenant_overrides or {})
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._live: set[Checkout] = set()
+        self._lock = threading.Lock()
+        #: Admission counters: admitted, released, and one ``rejected.*``
+        #: per reason — exported under ``serve.admission.*`` by the service.
+        self.counters: dict[str, int] = {
+            "admitted": 0,
+            "released": 0,
+            "rejected.over_budget": 0,
+            "rejected.queue_full": 0,
+            "rejected.deadline_expired": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def active(self) -> int:
+        """Number of live (admitted, unreleased) checkouts."""
+        with self._lock:
+            return len(self._live)
+
+    def live_checkouts(self) -> list[Checkout]:
+        """Snapshot of the live checkouts (the orphan-detection probe)."""
+        with self._lock:
+            return list(self._live)
+
+    def bucket(self, tenant: str | None) -> TokenBucket:
+        """The (lazily created) token bucket budgeting ``tenant``."""
+        key = _ANONYMOUS if tenant is None else tenant
+        with self._lock:
+            return self._bucket_locked(key)
+
+    def _bucket_locked(self, key: str) -> TokenBucket:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            burst, rate = self._overrides.get(key, (self._tenant_burst, self._tenant_rate))
+            bucket = TokenBucket(burst, rate, clock=self._clock)
+            self._buckets[key] = bucket
+        return bucket
+
+    def info(self) -> dict[str, float]:
+        """Counters plus the live-checkout gauge, as one flat dict."""
+        with self._lock:
+            out: dict[str, float] = dict(self.counters)
+            out["active"] = float(len(self._live))
+            out["tenants"] = float(len(self._buckets))
+            out["max_concurrent"] = float(self.max_concurrent)
+            return out
+
+    # ------------------------------------------------------------------ #
+    # the decision
+    # ------------------------------------------------------------------ #
+    def admit(
+        self,
+        tenant: str | None = None,
+        *,
+        cost: float = 1.0,
+        deadline_at: float | None = None,
+    ) -> Checkout:
+        """Admit one request or raise :class:`AdmissionError`.
+
+        Checks run cheapest-first — deadline, concurrency, then budget — and
+        the token spend happens only once the request is certain to be
+        admitted, so rejected requests never drain their tenant's bucket.
+        """
+        now = self._clock()
+        if deadline_at is not None and deadline_at <= now:
+            with self._lock:
+                self.counters["rejected.deadline_expired"] += 1
+            raise AdmissionError(
+                "deadline_expired",
+                "request deadline already expired at admission",
+                status=408,
+            )
+        key = _ANONYMOUS if tenant is None else tenant
+        with self._lock:
+            if len(self._live) >= self.max_concurrent:
+                self.counters["rejected.queue_full"] += 1
+                raise AdmissionError(
+                    "queue_full",
+                    f"serving capacity exhausted ({self.max_concurrent} in flight)",
+                    status=503,
+                )
+            bucket = self._bucket_locked(key)
+            retry_after = bucket.try_take(float(cost), now)
+            if retry_after is not None:
+                self.counters["rejected.over_budget"] += 1
+                raise AdmissionError(
+                    "over_budget",
+                    f"tenant {key!r} is over its request budget",
+                    status=429,
+                    retry_after=math.ceil(retry_after * 1000.0) / 1000.0,
+                )
+            checkout = Checkout(self, key, float(cost), now)
+            self._live.add(checkout)
+            self.counters["admitted"] += 1
+            return checkout
+
+    def _release(self, checkout: Checkout) -> None:
+        with self._lock:
+            self._live.discard(checkout)
+            self.counters["released"] += 1

@@ -1,0 +1,153 @@
+"""A minimal asyncio client for :class:`~repro.serve.ServeServer`.
+
+Stdlib-only, like the server: one :func:`asyncio.open_connection` per
+request (the server closes connections after each response), incremental
+SSE decoding so callers observe events the moment their frame arrives —
+which is exactly what the load benchmark needs to measure
+time-to-first-answer honestly — plus small conveniences for the JSON
+endpoints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator
+
+from .protocol import parse_sse
+
+__all__ = ["ServeClient", "ServeHTTPError"]
+
+
+class ServeHTTPError(Exception):
+    """A non-2xx response, carrying the decoded error payload."""
+
+    def __init__(self, status: int, payload: dict[str, Any]):
+        super().__init__(f"HTTP {status}: {payload.get('message', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talks the ``repro.serve`` wire protocol to one server address."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    async def _open(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict[str, str], asyncio.StreamReader, asyncio.StreamWriter]:
+        """Send one request; return ``(status, headers, reader, writer)``."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        encoded = b"" if body is None else json.dumps(body).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + encoded)
+        await writer.drain()
+
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            writer.close()
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, reader, writer
+
+    @staticmethod
+    async def _read_body(reader: asyncio.StreamReader, headers: dict[str, str]) -> bytes:
+        length = headers.get("content-length")
+        if length is not None:
+            return await reader.readexactly(int(length))
+        return await reader.read()  # close-delimited
+
+    @staticmethod
+    def _check(status: int, body: bytes) -> dict[str, Any]:
+        payload = json.loads(body.decode() or "null")
+        if status >= 400:
+            raise ServeHTTPError(status, payload if isinstance(payload, dict) else {})
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    async def healthz(self) -> dict[str, Any]:
+        """GET /healthz."""
+        status, headers, reader, writer = await self._open("GET", "/healthz")
+        try:
+            return self._check(status, await self._read_body(reader, headers))
+        finally:
+            writer.close()
+
+    async def metrics(self) -> str:
+        """GET /metrics (Prometheus v0 text)."""
+        status, headers, reader, writer = await self._open("GET", "/metrics")
+        try:
+            body = await self._read_body(reader, headers)
+            if status >= 400:
+                raise ServeHTTPError(status, json.loads(body.decode() or "{}"))
+            return body.decode()
+        finally:
+            writer.close()
+
+    async def query(self, request: dict) -> dict[str, Any]:
+        """POST /v1/query with ``refine`` forced off: one JSON approx answer."""
+        status, headers, reader, writer = await self._open(
+            "POST", "/v1/query", {**request, "refine": False}
+        )
+        try:
+            return self._check(status, await self._read_body(reader, headers))
+        finally:
+            writer.close()
+
+    async def query_events(self, request: dict) -> AsyncIterator[tuple[str, dict[str, Any]]]:
+        """POST /v1/query (two-phase SSE): yields events as frames arrive.
+
+        The first yielded event is ``("approx", ...)`` — the caller's clock
+        at that yield is the client-observed time-to-first-answer.  Closing
+        the iterator early models a client disconnect: the connection drops
+        and the server cancels the background refinement cooperatively.
+        """
+        async for event in self._sse("/v1/query", request):
+            yield event
+
+    async def stream_events(self, request: dict) -> AsyncIterator[tuple[str, dict[str, Any]]]:
+        """POST /v1/stream: yields ``partial`` events then a terminal one."""
+        async for event in self._sse("/v1/stream", request):
+            yield event
+
+    async def _sse(self, path: str, request: dict) -> AsyncIterator[tuple[str, dict[str, Any]]]:
+        status, headers, reader, writer = await self._open("POST", path, request)
+        try:
+            if status >= 400:
+                self._check(status, await self._read_body(reader, headers))
+            buffer = b""
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n\n" in buffer:
+                    frame, buffer = buffer.split(b"\n\n", 1)
+                    for event in parse_sse(frame + b"\n\n"):
+                        yield event
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -55,11 +55,17 @@ class StreamBudget:
     """Cooperative execution budget for one :meth:`AnytimeQuery.advance` call.
 
     ``deadline`` is a wall-clock allowance in seconds (from the moment the
-    budget is created), ``max_batches`` caps the number of work units pulled
-    by this advance, and ``cancel`` is a :class:`threading.Event` (or any
-    object with ``is_set()``, or a zero-argument callable) flipped by the
-    caller to stop the stream at the next work-unit boundary.  ``None``
-    everywhere means "run to completion".
+    budget is created), ``deadline_at`` an *absolute* :func:`time.perf_counter`
+    instant (a serving layer propagates one request deadline through every
+    stage this way, so queueing time is charged against the same budget as
+    compute), ``max_batches`` caps the number of work units pulled by this
+    advance, and ``cancel`` is a :class:`threading.Event` (or any object with
+    ``is_set()``, or a zero-argument callable) flipped by the caller to stop
+    the stream at the next work-unit boundary.  ``None`` everywhere means
+    "run to completion"; when both deadline forms are given the earlier
+    instant wins.  A ``deadline_at`` already in the past is exhausted
+    immediately (callers that want expired deadlines rejected up front must
+    check before starting — see ``repro.serve.AdmissionController``).
     """
 
     def __init__(
@@ -67,12 +73,18 @@ class StreamBudget:
         deadline: float | None = None,
         max_batches: int | None = None,
         cancel: threading.Event | Callable[[], bool] | None = None,
+        deadline_at: float | None = None,
     ) -> None:
         if deadline is not None and deadline < 0:
             raise InvalidQueryError("deadline must be non-negative seconds")
         if max_batches is not None and max_batches < 1:
             raise InvalidQueryError("max_batches must be a positive integer")
         self.expires_at = None if deadline is None else time.perf_counter() + float(deadline)
+        if deadline_at is not None:
+            absolute = float(deadline_at)
+            self.expires_at = absolute if self.expires_at is None else min(
+                self.expires_at, absolute
+            )
         self.max_batches = None if max_batches is None else int(max_batches)
         self.cancel = cancel
         #: Work units consumed under this budget so far.
@@ -179,6 +191,7 @@ class AnytimeQuery:
         deadline: float | None = None,
         max_batches: int | None = None,
         cancel: threading.Event | Callable[[], bool] | None = None,
+        deadline_at: float | None = None,
     ) -> Iterator[PartialKSPRResult]:
         """Pull work units under a budget, yielding one snapshot per unit.
 
@@ -186,9 +199,14 @@ class AnytimeQuery:
         is exhausted, the cancellation flag is set, or the query completes
         (the last yielded snapshot then has ``done=True``).  Budget checks
         happen between work units, so a deadline can overshoot by at most one
-        batch / chunk / shard commit.
+        batch / chunk / shard commit.  ``deadline_at`` is the absolute
+        :func:`time.perf_counter` form of ``deadline`` (the earlier instant
+        wins when both are given) — see :class:`StreamBudget`.
         """
-        budget = StreamBudget(deadline=deadline, max_batches=max_batches, cancel=cancel)
+        budget = StreamBudget(
+            deadline=deadline, max_batches=max_batches, cancel=cancel,
+            deadline_at=deadline_at,
+        )
         # The span is created (not entered): a generator's frames run in the
         # caller's context at each pull, so contextvar-scoped entry would
         # leak across yields.  Events land on the span object directly.

@@ -1,0 +1,200 @@
+"""Property-based suite (hypothesis) for the serving tier's async contract.
+
+Three invariants of :mod:`repro.serve`, checked over randomised
+``(n, d, k, seed)`` cases with the engine driven through the real asyncio
+service (each property drives ``asyncio.run`` inside a sync test — the
+environment has no async pytest plugin, by design):
+
+* **event ordering matches tick order** — the async stream emits exactly the
+  engine's anytime snapshots, in tick order, with consecutive ``seq``
+  numbers, one terminal event (``exact`` or ``paused``) and nothing after it;
+* **brackets never cross or widen** — streamed ``lower`` is non-decreasing,
+  ``upper`` non-increasing, ``lower <= upper`` in every event, and both
+  contain the exact impact of an independent cold run;
+* **two-phase honesty** — whenever the phase-one estimate claimed its
+  contract held (``meets()``), the background exact refinement's impact lies
+  inside the approximate confidence interval (``covers``), and the service's
+  ``serve.honesty.violations.total`` counter stays at zero.  (Coverage is a
+  statistical ``1 - delta`` guarantee; these assertions are exact only
+  because the suite is derandomized over pinned seeds.  The load benchmark
+  enforces the population-level bound.)
+
+Plus a pure-protocol property: SSE framing round-trips arbitrary event
+sequences, tolerating truncated tails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ApproxSpec, Engine
+from repro.data import independent_dataset
+from repro.index.rtree import AggregateRTree
+from repro.index.skyline import skyline
+from repro.serve import KSPRService, ServeConfig, ServeRequest, format_sse, parse_sse
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+case_strategy = st.tuples(
+    st.integers(min_value=24, max_value=64),    # n
+    st.integers(min_value=2, max_value=3),      # d
+    st.integers(min_value=1, max_value=3),      # k
+    st.integers(min_value=0, max_value=9_999),  # seed
+)
+
+
+def make_case(n: int, d: int, seed: int):
+    """A dataset plus a near-skyline focal (guaranteed non-trivial regions)."""
+    dataset = independent_dataset(n, d, seed=seed)
+    sky = skyline(AggregateRTree(dataset))
+    row = int(np.where(dataset.ids == sky[0])[0][0])
+    return dataset, dataset.values[row] * 0.98
+
+
+async def _collect_stream(service: KSPRService, request: ServeRequest):
+    events = []
+    async for event in service.stream(request):
+        events.append(event)
+    assert await service.quiesce(timeout=30.0)
+    await service.close()
+    return events
+
+
+# --------------------------------------------------------------------- #
+# stream ordering + bracket monotonicity
+# --------------------------------------------------------------------- #
+@given(case_strategy)
+@SETTINGS
+def test_stream_events_match_tick_order_and_brackets_never_widen(case):
+    n, d, k, seed = case
+    dataset, focal = make_case(n, d, seed)
+    service = KSPRService(Engine(dataset), ServeConfig(worker_threads=2))
+    events = asyncio.run(
+        _collect_stream(service, ServeRequest(focal=focal, k=k))
+    )
+
+    names = [name for name, _payload in events]
+    assert names[-1] in ("exact", "paused"), "stream must end with a terminal event"
+    assert all(name == "partial" for name in names[:-1]), (
+        "nothing may follow the terminal event, and every non-terminal event is a partial"
+    )
+    partials = [payload for name, payload in events if name == "partial"]
+
+    # seq matches tick order exactly; batch counters strictly increase.
+    assert [payload["seq"] for payload in partials] == list(range(len(partials)))
+    batches = [payload["batches"] for payload in partials]
+    assert batches == sorted(batches) and len(set(batches)) == len(batches)
+
+    # Brackets never cross, never widen.
+    lowers = [payload["lower"] for payload in partials]
+    uppers = [payload["upper"] for payload in partials]
+    for lower, upper in zip(lowers, uppers):
+        assert lower <= upper + 1e-12
+    assert all(a <= b + 1e-12 for a, b in zip(lowers, lowers[1:]))
+    assert all(a >= b - 1e-12 for a, b in zip(uppers, uppers[1:]))
+
+    # The served events are exactly the engine's own ticks: replay the same
+    # query on a fresh engine and compare snapshot for snapshot.
+    direct = list(Engine(dataset).query_stream(focal, k))
+    direct_partials = [snapshot for snapshot in direct if not snapshot.done]
+    assert len(partials) == len(direct_partials)
+    for payload, snapshot in zip(partials, direct_partials):
+        lower, upper = snapshot.impact_bracket()
+        assert payload["batches"] == snapshot.batches
+        assert payload["regions"] == len(snapshot.regions)
+        assert np.isclose(payload["lower"], lower) and np.isclose(payload["upper"], upper)
+
+    # The terminal event agrees with the cold exact answer, and every
+    # streamed bracket contained it.
+    exact_impact = direct[-1].to_result().impact_probability()
+    name, terminal = events[-1]
+    if name == "exact":
+        assert np.isclose(terminal["impact"], exact_impact)
+    for lower, upper in zip(lowers, uppers):
+        assert lower - 1e-9 <= exact_impact <= upper + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# two-phase honesty
+# --------------------------------------------------------------------- #
+@given(case_strategy)
+@SETTINGS
+def test_two_phase_refinement_is_honest(case):
+    n, d, k, seed = case
+    dataset, focal = make_case(n, d, seed)
+    engine = Engine(dataset)
+    spec = ApproxSpec(epsilon=0.08, delta=0.1, seed=seed)
+    service = KSPRService(engine, ServeConfig(approx=spec, worker_threads=2))
+
+    async def go():
+        answer = await service.answer(ServeRequest(focal=focal, k=k))
+        exact = await answer.refined()
+        answer.close()
+        assert await service.quiesce(timeout=30.0)
+        await service.close()
+        return answer, exact
+
+    answer, exact = asyncio.run(go())
+    assert exact is not None, "an undisturbed refinement must complete exact"
+    assert answer.ttfa >= 0.0
+
+    impact = exact.impact_probability()
+    if answer.approx.meets():
+        lower, upper = answer.approx.confidence_interval()
+        assert lower - 1e-12 <= impact <= upper + 1e-12, (
+            f"exact impact {impact} escaped the approx CI [{lower}, {upper}]"
+        )
+        assert answer.approx.covers(impact)
+
+    checked = service.registry.counter("serve.honesty.checked.total").value
+    violations = service.registry.counter("serve.honesty.violations.total").value
+    assert violations == 0
+    if answer.approx.meets():
+        assert checked == 1
+
+    # The refinement populated the engine's result cache: the next exact
+    # query is a hit and identical to what the service pushed.
+    assert engine.query(focal, k) is exact
+
+
+# --------------------------------------------------------------------- #
+# SSE framing round-trip
+# --------------------------------------------------------------------- #
+json_scalars = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+event_strategy = st.tuples(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10),
+    st.dictionaries(st.text(alphabet="abcdefghij_", min_size=1, max_size=8), json_scalars, max_size=5),
+)
+
+
+@given(st.lists(event_strategy, max_size=8))
+@SETTINGS
+def test_sse_framing_round_trips(events):
+    wire = b"".join(format_sse(name, payload) for name, payload in events)
+    decoded = parse_sse(wire)
+    expected = [
+        (name, json.loads(json.dumps(payload))) for name, payload in events
+    ]
+    assert decoded == expected
+
+    # A truncated tail never corrupts the already-complete frames.
+    if wire:
+        truncated = parse_sse(wire[: len(wire) - 3])
+        assert truncated == expected[: len(truncated)]
+        assert len(truncated) >= len(expected) - 1

@@ -1,0 +1,100 @@
+"""Coverage for the tenant-aware extension of ``generate_workload``.
+
+The serving tier budgets admission per tenant, so the workload generator
+grew a ``tenants=`` knob tagging each query with a Zipf-skewed simulated
+customer id.  The contract:
+
+* **determinism** — same seed, same arguments ⇒ identical tagged trace;
+* **backwards compatibility** — ``tenants=None`` traces are byte-identical
+  to pre-tenant ones, and tagging does not perturb the focal/k draws of the
+  same seed;
+* **serialisation** — tenant tags survive the JSON round-trip, and untagged
+  queries serialise without a ``tenant`` key at all;
+* **shape** — ids are zero-padded (sortable), activity is Zipf-skewed
+  (hot tenants dominate), ``unique_tenants`` reports the distinct count;
+* **replay** — the non-tenant surfaces ignore tags entirely.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro import Engine
+from repro.data import independent_dataset
+from repro.engine.workload import Workload, generate_workload, replay
+from repro.exceptions import InvalidQueryError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return independent_dataset(40, 3, seed=9)
+
+
+def test_tagged_workload_is_deterministic(dataset):
+    first = generate_workload(dataset, 50, tenants=6, seed=123)
+    second = generate_workload(dataset, 50, tenants=6, seed=123)
+    assert first.to_json() == second.to_json()
+    assert all(query.tenant is not None for query in first)
+
+
+def test_tagging_does_not_perturb_focal_and_k_draws(dataset):
+    untagged = generate_workload(dataset, 50, seed=321)
+    tagged = generate_workload(dataset, 50, tenants=8, seed=321)
+    assert [(q.focal, q.k) for q in untagged] == [(q.focal, q.k) for q in tagged], (
+        "tenant draws must happen after focal/k draws, leaving them untouched"
+    )
+    assert all(query.tenant is None for query in untagged)
+    assert untagged.unique_tenants == 0
+    assert untagged.metadata["tenants"] is None
+
+
+def test_tenant_tags_round_trip_through_json(dataset):
+    workload = generate_workload(dataset, 30, tenants=5, tenant_zipf_s=1.4, seed=7)
+    rebuilt = Workload.from_json(workload.to_json())
+    assert [q.tenant for q in rebuilt] == [q.tenant for q in workload]
+    assert rebuilt.unique_tenants == workload.unique_tenants > 0
+    assert rebuilt.metadata["tenants"] == 5
+    assert rebuilt.metadata["tenant_zipf_s"] == 1.4
+    # Untagged queries serialise without any "tenant" key (wire-compatible
+    # with pre-tenant readers).
+    untagged = generate_workload(dataset, 3, seed=7)
+    for entry in json.loads(untagged.to_json())["queries"]:
+        assert "tenant" not in entry
+
+
+def test_tenant_ids_are_zero_padded_and_bounded(dataset):
+    workload = generate_workload(dataset, 80, tenants=12, seed=2)
+    tenants = {query.tenant for query in workload}
+    assert tenants <= {f"tenant-{i:04d}" for i in range(12)}
+    assert workload.unique_tenants == len(tenants) >= 2
+    assert sorted(tenants) == sorted(tenants, key=str)  # padding keeps ids sortable
+
+
+def test_tenant_activity_is_zipf_skewed(dataset):
+    workload = generate_workload(dataset, 400, tenants=8, tenant_zipf_s=1.5, seed=0)
+    counts = Counter(query.tenant for query in workload)
+    # Rank 1 (tenant-0000) carries the plurality of the traffic, and
+    # strictly more than the tail's average.
+    hottest, hottest_count = counts.most_common(1)[0]
+    assert hottest == "tenant-0000"
+    assert hottest_count > 400 / 8
+
+
+def test_tenants_validation(dataset):
+    with pytest.raises(InvalidQueryError):
+        generate_workload(dataset, 10, tenants=0, seed=1)
+    with pytest.raises(InvalidQueryError):
+        generate_workload(dataset, 10, tenants=-3, seed=1)
+
+
+def test_replay_ignores_tenant_tags(dataset):
+    workload = generate_workload(
+        dataset, 4, tenants=3, focal_pool=4, k_choices=[1, 2], seed=4
+    )
+    report = replay(Engine(dataset), workload)
+    assert len(report) == 4 and len(report.results) == 4
+    specs = [query.spec() for query in workload]
+    assert all(spec.method is None for spec in specs)

@@ -1,14 +1,17 @@
 """Regenerate benchmark result JSONs and fail if a documented bar drifted.
 
 The performance claims this repository documents (README, ROADMAP, the
-benchmark docstrings) are backed by three enforced bars:
+benchmark docstrings) are backed by four enforced bars:
 
 * ``bench_engine_amortized`` — the serving engine answers the 50-query
   amortized workload at least ``2x`` faster than naive repeated ``kspr()``;
 * ``bench_approx_scaling`` — the sampling mode beats the fastest exact
   method by at least ``5x`` on the ``n = 100k`` head-to-head instance;
 * ``bench_obs_overhead`` — with tracing disabled (the default), the
-  instrumented engine stays within ``2%`` of an identical back-to-back run.
+  instrumented engine stays within ``2%`` of an identical back-to-back run;
+* ``bench_serve_load`` — the serving tier's p99 time-to-first-answer stays
+  within ``50 ms`` while replaying a Zipf workload at ``500`` offered QPS
+  over a warm engine (approx answers, background exact refinement).
 
 ``benchmarks/results/*.json`` is deliberately **not** committed (timings are
 machine-specific), so "diffing" the artefacts means re-measuring and
@@ -42,6 +45,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 import bench_approx_scaling as approx_bench  # noqa: E402
 import bench_engine_amortized as engine_bench  # noqa: E402
 import bench_obs_overhead as obs_bench  # noqa: E402
+import bench_serve_load as serve_bench  # noqa: E402
 
 
 def _run_engine(tiny: bool) -> tuple[dict, float, float, bool]:
@@ -66,11 +70,22 @@ def _run_obs(tiny: bool) -> tuple[dict, float, float, bool]:
     return payload, -payload["disabled_overhead"], -obs_bench.TOLERANCE, True
 
 
+def _run_serve(tiny: bool) -> tuple[dict, float, float, bool]:
+    kwargs = serve_bench._tiny_kwargs() if tiny else {}
+    payload = serve_bench.run_benchmark(**kwargs)
+    serve_bench.emit(payload)
+    # The TTFA bar is an upper bound; negate so "measured >= floor" means
+    # "within the bar" like the speedup bars.
+    measured = -payload["steady"]["ttfa"]["p99_ms"] / 1000.0
+    return payload, measured, -serve_bench.TTFA_P99_BAR_SECONDS, not tiny
+
+
 #: name -> (runner, unit, direction description)
 BENCHMARKS = {
     "engine_amortized": (_run_engine, "x speedup", "engine vs naive kspr"),
     "approx_scaling": (_run_approx, "x speedup", "sampling vs exact LP-CTA"),
     "obs_overhead": (_run_obs, " overhead", "disabled tracer vs baseline"),
+    "serve_load": (_run_serve, "s p99 TTFA", "serving tier at 500 QPS"),
 }
 
 

@@ -65,6 +65,16 @@ PAGES: dict[str, tuple[str, list[str]]] = {
         ],
     ),
     "stream": ("repro.stream — anytime queries", ["repro.stream.anytime"]),
+    "serve": (
+        "repro.serve — asyncio serving tier",
+        [
+            "repro.serve.protocol",
+            "repro.serve.admission",
+            "repro.serve.service",
+            "repro.serve.http",
+            "repro.serve.client",
+        ],
+    ),
     "obs": (
         "repro.obs — tracing, metrics, and profiling",
         [
