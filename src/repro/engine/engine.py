@@ -732,6 +732,7 @@ class Engine:
                     execute_span.set(competitors=int(stats.competitor_records))
                     try:
                         execute_span.set(regions=len(result))
+                    # analyze: ignore[EXC001] -- approx results have no region count (len() unsupported)
                     except TypeError:
                         pass
                     execute_span.note(

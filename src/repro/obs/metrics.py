@@ -35,6 +35,15 @@ import threading
 from contextvars import ContextVar
 from typing import Any, Iterator, Mapping
 
+from .names import (
+    LP_CONSTRAINTS,
+    QUERY_REGIONS,
+    QUERY_SECONDS_CPU,
+    QUERY_SECONDS_INDEX_BUILD,
+    QUERY_SECONDS_PHASE_PREFIX,
+    QUERY_SECONDS_RESPONSE,
+)
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -55,8 +64,9 @@ __all__ = [
 #: so shard merges are exact.
 DEFAULT_LP_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, math.inf)
 
-#: Canonical histogram name for constraint counts of LP probes.
-LP_CONSTRAINTS = "query.lp.constraints"
+# ``LP_CONSTRAINTS`` (the canonical histogram name for LP probe constraint
+# counts) is defined in — and re-exported from — the metric-name catalogue,
+# :mod:`repro.obs.names`, alongside every other canonical name.
 
 #: Upper bucket bounds (inclusive, seconds) for request-latency histograms —
 #: powers of two from 0.25ms to ~8s plus +inf.  Fixed like the LP buckets so
@@ -350,10 +360,10 @@ def stats_to_registry(
     for name, value in counters.items():
         registry.counter(name).inc(value)
     if regions is not None:
-        registry.counter("query.regions").inc(regions)
-    registry.gauge("query.seconds.response").set(stats.response_seconds)
-    registry.gauge("query.seconds.cpu").set(stats.cpu_seconds)
-    registry.gauge("query.seconds.index_build").set(stats.index_build_seconds)
+        registry.counter(QUERY_REGIONS).inc(regions)
+    registry.gauge(QUERY_SECONDS_RESPONSE).set(stats.response_seconds)
+    registry.gauge(QUERY_SECONDS_CPU).set(stats.cpu_seconds)
+    registry.gauge(QUERY_SECONDS_INDEX_BUILD).set(stats.index_build_seconds)
     for phase, seconds in stats.phase_seconds.items():
-        registry.gauge(f"query.seconds.phase.{phase}").set(seconds)
+        registry.gauge(f"{QUERY_SECONDS_PHASE_PREFIX}{phase}").set(seconds)
     return registry

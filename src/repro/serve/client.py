@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from typing import Any, AsyncIterator
 
 from .protocol import parse_sse
 
 __all__ = ["ServeClient", "ServeHTTPError"]
+
+logger = logging.getLogger(__name__)
 
 
 class ServeHTTPError(Exception):
@@ -149,5 +152,7 @@ class ServeClient:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            except (ConnectionError, OSError) as error:
+                # The server closes after each response; a reset while we
+                # drain the close handshake is expected, but keep a trace.
+                logger.debug("connection reset while closing %s: %s", path, error)

@@ -34,15 +34,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from typing import Any
 
 from ..exceptions import InvalidQueryError
 from ..obs.export import registry_to_prometheus
+from ..obs.names import SERVE_CONNECTION_RESETS
 from .admission import AdmissionError
 from .protocol import BadRequest, error_payload, exact_payload, format_sse, parse_request
 from .service import KSPRService
 
 __all__ = ["ServeServer"]
+
+logger = logging.getLogger(__name__)
 
 _REASONS = {
     200: "OK",
@@ -141,21 +145,31 @@ class ServeServer:
                 await self._dispatch(method, path, body, reader, writer)
             except _HTTPError as error:
                 await self._send_json(writer, error.status, error.payload, error.headers)
-            except (ConnectionError, asyncio.IncompleteReadError):
-                pass  # client went away mid-response
+            except (ConnectionError, asyncio.IncompleteReadError) as error:
+                self._record_reset(path, "mid-response", error)
             except Exception as error:  # pragma: no cover - defensive 500
                 try:
                     await self._send_json(
                         writer, 500, error_payload("internal", f"{type(error).__name__}: {error}")
                     )
-                except ConnectionError:
-                    pass
+                except ConnectionError as reset:
+                    self._record_reset(path, "sending error response", reset)
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except ConnectionError:
-                pass
+            except ConnectionError as error:
+                self._record_reset(None, "closing", error)
+
+    def _record_reset(self, path: str | None, where: str, error: BaseException) -> None:
+        """Account one dropped client connection instead of losing it silently."""
+        self.service.registry.counter(
+            SERVE_CONNECTION_RESETS,
+            "client connections dropped mid-response at the HTTP layer",
+        ).inc()
+        logger.debug(
+            "client connection dropped %s (%s): %s", where, path or "(pre-route)", error
+        )
 
     async def _read_request(self, reader: asyncio.StreamReader) -> tuple[str, str, bytes]:
         """Parse one request: ``(method, path, body)``; raise _HTTPError on junk."""

@@ -49,6 +49,21 @@ from ..approx.estimator import ApproxSpec
 from ..approx.result import ApproxKSPRResult
 from ..core.result import KSPRResult, PartialKSPRResult
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from ..obs.names import (
+    SERVE_ACTIVE,
+    SERVE_ANSWERS_TOTAL,
+    SERVE_DISCONNECTS,
+    SERVE_HONESTY_CHECKED,
+    SERVE_HONESTY_VIOLATIONS,
+    SERVE_REFINE_SECONDS,
+    SERVE_REFINEMENTS_CANCELLED,
+    SERVE_REFINEMENTS_COMPLETED,
+    SERVE_REFINEMENTS_DEDUPLICATED,
+    SERVE_REFINEMENTS_STARTED,
+    SERVE_REJECTED_PREFIX,
+    SERVE_STREAMS_TOTAL,
+    SERVE_TTFA_SECONDS,
+)
 from ..obs.trace import NULL_TRACER
 from .admission import AdmissionController, Checkout
 from .protocol import ServeRequest, exact_payload, partial_payload, paused_payload
@@ -150,6 +165,7 @@ class _RefinementHandle:
                     mirror.set_exception(error)
                 else:
                     mirror.set_result(done.result())
+            # analyze: ignore[EXC001] -- benign race: mirror settled/cancelled by its waiter
             except (concurrent.futures.InvalidStateError, concurrent.futures.CancelledError):
                 pass
 
@@ -267,37 +283,37 @@ class KSPRService:
 
         registry = self.registry
         self._m_ttfa = registry.histogram(
-            "serve.ttfa.seconds", "time-to-first-answer of two-phase requests",
+            SERVE_TTFA_SECONDS, "time-to-first-answer of two-phase requests",
             bounds=DEFAULT_LATENCY_BUCKETS,
         )
         self._m_refine = registry.histogram(
-            "serve.refine.seconds", "background exact refinement latency",
+            SERVE_REFINE_SECONDS, "background exact refinement latency",
             bounds=DEFAULT_LATENCY_BUCKETS,
         )
-        self._m_answers = registry.counter("serve.answers.total", "two-phase answers served")
-        self._m_streams = registry.counter("serve.streams.total", "anytime streams served")
+        self._m_answers = registry.counter(SERVE_ANSWERS_TOTAL, "two-phase answers served")
+        self._m_streams = registry.counter(SERVE_STREAMS_TOTAL, "anytime streams served")
         self._m_refine_started = registry.counter(
-            "serve.refinements.started.total", "background refinements launched"
+            SERVE_REFINEMENTS_STARTED, "background refinements launched"
         )
         self._m_refine_done = registry.counter(
-            "serve.refinements.completed.total", "background refinements finished exact"
+            SERVE_REFINEMENTS_COMPLETED, "background refinements finished exact"
         )
         self._m_refine_cancelled = registry.counter(
-            "serve.refinements.cancelled.total", "background refinements cancelled by disconnects"
+            SERVE_REFINEMENTS_CANCELLED, "background refinements cancelled by disconnects"
         )
         self._m_refine_dedup = registry.counter(
-            "serve.refinements.deduplicated.total", "refinements collapsed onto an in-flight one"
+            SERVE_REFINEMENTS_DEDUPLICATED, "refinements collapsed onto an in-flight one"
         )
         self._m_honesty_checked = registry.counter(
-            "serve.honesty.checked.total", "refined answers checked against their approx CI"
+            SERVE_HONESTY_CHECKED, "refined answers checked against their approx CI"
         )
         self._m_honesty_violations = registry.counter(
-            "serve.honesty.violations.total", "exact impacts outside their approx CI"
+            SERVE_HONESTY_VIOLATIONS, "exact impacts outside their approx CI"
         )
         self._m_disconnects = registry.counter(
-            "serve.disconnects.total", "requests abandoned before their stream finished"
+            SERVE_DISCONNECTS, "requests abandoned before their stream finished"
         )
-        self._g_active = registry.gauge("serve.active", "live admitted requests")
+        self._g_active = registry.gauge(SERVE_ACTIVE, "live admitted requests")
 
     # ------------------------------------------------------------------ #
     # internals
@@ -312,7 +328,7 @@ class KSPRService:
             )
         except AdmissionError as error:
             self.registry.counter(
-                f"serve.rejected.{error.reason}.total",
+                f"{SERVE_REJECTED_PREFIX}{error.reason}.total",
                 "requests rejected at admission",
             ).inc()
             raise
@@ -474,12 +490,22 @@ class KSPRService:
         self._m_streams.inc()
         cancel = threading.Event()
         method = request.method or self.config.refine_method
-        iterator = self.engine.query_stream(
-            request.focal, int(request.k), method=method,
-            deadline_at=request.deadline_at,
-            max_batches=request.max_batches,
-            cancel=cancel, capture=True,
-        )
+        try:
+            # query_stream() validates and takes the engine lock eagerly,
+            # before returning its generator — keep that off the event loop.
+            iterator = await self._run_blocking(
+                self.engine.query_stream,
+                request.focal, int(request.k), method=method,
+                deadline_at=request.deadline_at,
+                max_batches=request.max_batches,
+                cancel=cancel, capture=True,
+            )
+        except BaseException:
+            checkout.release()
+            self._g_active.set(self.admission.active)
+            span.set(outcome="error")
+            span.finish()
+            raise
         seq = 0
         last: PartialKSPRResult | None = None
         pending: concurrent.futures.Future | None = None

@@ -10,15 +10,15 @@ Covers four contracts:
   checked across 20 seeded ``n/d/k`` configurations;
 * canonical input validation (clear ``InvalidQueryError`` messages, the
   ``d >= 7`` warning, the defined behaviour of degenerate-but-legal inputs);
-* the grep-based enforcement that **no tolerance literal is hard-coded
-  anywhere in ``repro`` outside ``repro.robust``**.
+* the machine-checked enforcement (the ``TOL001`` linter rule) that **no
+  tolerance literal is hard-coded anywhere in ``repro`` outside
+  ``repro.robust``**.
 """
 
 from __future__ import annotations
 
-import io
 import pathlib
-import tokenize
+import sys
 
 import numpy as np
 import pytest
@@ -335,22 +335,22 @@ def _package_root() -> pathlib.Path:
 def test_no_hard_coded_tolerance_literals_outside_robust():
     """Every scientific-notation epsilon must live in ``repro.robust``.
 
-    Tokenises each source file (so docstrings and comments are free to
-    *mention* tolerances) and flags any numeric literal written with a
-    negative exponent — the signature of an ad-hoc epsilon.
+    Thin wrapper over the ``TOL001`` rule of the invariant linter
+    (``tools.analyze``), which superseded the tokenize sweep this test
+    used to carry: negative-exponent numeric literals — the signature of
+    an ad-hoc epsilon — are banned everywhere in ``repro`` outside
+    ``repro.robust``.  Docstrings and comments stay free to *mention*
+    tolerances (the rule inspects ``NUMBER`` tokens only), and any
+    justified exception must carry an inline
+    ``# analyze: ignore[TOL001] -- reason`` annotation.
     """
-    offenders: list[str] = []
-    root = _package_root()
-    for path in sorted(root.rglob("*.py")):
-        if "robust" in path.relative_to(root).parts:
-            continue
-        source = path.read_text()
-        for token in tokenize.generate_tokens(io.StringIO(source).readline):
-            if token.type == tokenize.NUMBER and (
-                "e-" in token.string.lower()
-            ):
-                offenders.append(f"{path.relative_to(root)}:{token.start[0]}: {token.string}")
-    assert not offenders, (
-        "hard-coded tolerance literals found outside repro.robust:\n"
-        + "\n".join(offenders)
+    repo_root = pathlib.Path(__file__).resolve().parents[1]
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    from tools.analyze import Analyzer
+
+    report = Analyzer().select(["TOL001"]).run([_package_root()])
+    rendered = "\n".join(diagnostic.render() for diagnostic in report.diagnostics)
+    assert report.clean, (
+        "hard-coded tolerance literals found outside repro.robust:\n" + rendered
     )

@@ -1,0 +1,6 @@
+"""Repository tooling: doc generators, drift gates, and the invariant linter.
+
+Importable as a namespace so ``python -m tools.analyze`` works from the
+repository root; the standalone scripts (``gen_api_docs.py`` & friends)
+remain directly runnable and do not depend on this package marker.
+"""

@@ -1,0 +1,60 @@
+"""tools.analyze — AST-based invariant linter for the kSPR repro codebase.
+
+Seven PRs of correctness contracts — one scale-aware tolerance policy,
+bit-identical seeded sampling, byte-stable span structure, a no-blocking
+asyncio serving tier, one canonical metric name per number — are only as
+durable as the code that upholds them.  This package machine-checks those
+invariants on every commit:
+
+- :mod:`tools.analyze.engine` — the rule engine: per-file contexts (AST +
+  token stream), the :class:`Rule` protocol, suppression filtering, and
+  the :class:`Analyzer` / :class:`Report` pair.
+- :mod:`tools.analyze.rules` — the shipped rules (``TOL001``, ``DET001``,
+  ``ASYNC001``, ``OBS001``, ``OBS002``, ``EXC001``).
+- :mod:`tools.analyze.suppressions` — inline
+  ``# analyze: ignore[RULE] -- reason`` comments (reasons are mandatory).
+- :mod:`tools.analyze.cli` — ``python -m tools.analyze src tests`` with
+  ``--format=json|text`` and CI-friendly exit codes.
+
+See ``docs/guides/static-analysis.md`` for the rule catalogue, the
+suppression policy, and how to add a rule.
+"""
+
+from .diagnostics import Diagnostic, Severity, sort_diagnostics
+from .engine import Analyzer, FileContext, Report, Rule, collect_files
+from .cli import main
+from .rules import (
+    DEFAULT_RULES,
+    AsyncBlockingRule,
+    ExceptionSwallowRule,
+    MetricCatalogue,
+    MetricNameRule,
+    ToleranceLiteralRule,
+    UnseededRandomRule,
+    VolatileSpanAttrRule,
+    default_rules,
+)
+from .suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "sort_diagnostics",
+    "Analyzer",
+    "FileContext",
+    "Report",
+    "Rule",
+    "collect_files",
+    "Suppression",
+    "parse_suppressions",
+    "main",
+    "DEFAULT_RULES",
+    "default_rules",
+    "ToleranceLiteralRule",
+    "UnseededRandomRule",
+    "AsyncBlockingRule",
+    "MetricNameRule",
+    "VolatileSpanAttrRule",
+    "ExceptionSwallowRule",
+    "MetricCatalogue",
+]

@@ -1,0 +1,101 @@
+"""Command-line front-end: ``python -m tools.analyze src tests``.
+
+Exit codes
+----------
+``0``
+    No diagnostics (the tree upholds every checked invariant).
+``1``
+    At least one diagnostic survived suppression filtering.
+``2``
+    Usage error (unknown rule id, missing path) — argparse semantics.
+
+``--format=text`` (default) prints one ``path:line:col: RULE message``
+line per finding plus a summary; ``--format=json`` prints the
+schema-versioned report payload for CI annotators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .engine import Analyzer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="AST-based invariant linter for the kSPR repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to analyze (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    analyzer = Analyzer()
+    if arguments.list_rules:
+        for rule in analyzer.rules:
+            print(f"{rule.id}  {rule.title}")
+            if rule.rationale:
+                print(f"        {rule.rationale}")
+        return 0
+
+    if arguments.select:
+        try:
+            analyzer = analyzer.select(
+                rule_id.strip() for rule_id in arguments.select.split(",") if rule_id.strip()
+            )
+        except ValueError as error:
+            parser.error(str(error))
+
+    try:
+        report = analyzer.run(arguments.paths)
+    except FileNotFoundError as error:
+        parser.error(str(error))
+
+    if arguments.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic.render())
+        status = "clean" if report.clean else f"{len(report.diagnostics)} finding(s)"
+        print(
+            f"analyze: {status} — {report.files_scanned} files, "
+            f"{len(report.rules)} rules, {report.suppressed} suppressed",
+            file=sys.stderr,
+        )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

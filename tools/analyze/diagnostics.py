@@ -1,0 +1,87 @@
+"""Diagnostic records emitted by the invariant linter.
+
+A :class:`Diagnostic` is one finding anchored to a file and line: which
+rule fired, where, how bad, and what to do about it.  Diagnostics are
+plain frozen dataclasses with a stable sort order and a lossless JSON
+round-trip (:meth:`Diagnostic.as_dict` / :meth:`Diagnostic.from_dict`), so
+the CLI's ``--format=json`` output can be consumed by CI annotators and
+re-hydrated by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Severity", "Diagnostic", "sort_diagnostics"]
+
+
+class Severity:
+    """Diagnostic severity levels (string constants, ordered)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    #: Rank used for sorting: errors before warnings.
+    ORDER = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding.
+
+    Parameters
+    ----------
+    rule:
+        Rule identifier (``"TOL001"``, ``"EXC001"``, …) or an ``ANA***``
+        engine-level code (malformed suppression, unparseable file).
+    path:
+        Path of the offending file, as given to the analyzer (kept
+        relative when the input was relative, so output is stable across
+        checkouts).
+    line, column:
+        1-based line and 0-based column of the finding.
+    message:
+        Human-readable description, including the remedy.
+    severity:
+        ``"error"`` or ``"warning"`` (see :class:`Severity`).
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    severity: str = field(default=Severity.ERROR)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by ``--format=json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Diagnostic":
+        """Inverse of :meth:`as_dict` (raises ``KeyError`` on missing fields)."""
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            line=int(payload["line"]),
+            column=int(payload["column"]),
+            message=payload["message"],
+            severity=payload["severity"],
+        )
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: RULE [severity] message``."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} [{self.severity}] {self.message}"
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Stable presentation order: by path, line, column, then rule id."""
+    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.column, d.rule))

@@ -1,0 +1,276 @@
+"""The rule engine: file contexts, the rule protocol, and the analyzer.
+
+The analyzer walks every ``*.py`` file under the given paths, builds one
+:class:`FileContext` per file (source, AST, token stream, suppression
+comments), asks each registered :class:`Rule` whether it applies to the
+file's path, runs the applicable rules, filters findings through the
+inline suppressions (:mod:`tools.analyze.suppressions`), and returns a
+:class:`Report`.
+
+Rules are deliberately small objects: an ``id``, a one-line ``title``, a
+path ``applies_to`` predicate, and a ``check`` generator yielding
+:class:`~tools.analyze.diagnostics.Diagnostic`.  Everything expensive
+(parsing, tokenizing) happens once per file in the context, so adding a
+rule costs one extra AST walk at most.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from .diagnostics import Diagnostic, Severity, sort_diagnostics
+from .suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Report",
+    "Analyzer",
+    "collect_files",
+]
+
+
+class FileContext:
+    """Everything a rule may need about one source file, computed once.
+
+    Parameters
+    ----------
+    path:
+        The file on disk.
+    display:
+        The path string used in diagnostics (relative when the analyzer
+        input was relative).
+    source:
+        The file's text (read by :meth:`load` normally).
+    """
+
+    def __init__(self, path: Path, display: str, source: str) -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        #: Path components, resolved — the basis of scope predicates.
+        self.parts: tuple[str, ...] = path.resolve().parts
+        self.tree: ast.AST | None = None
+        self.tokens: list[tokenize.TokenInfo] = []
+        self.suppressions: list[Suppression] = []
+        #: Engine-level problems found while building the context
+        #: (syntax errors, malformed suppressions).
+        self.problems: list[Diagnostic] = []
+
+    @classmethod
+    def load(cls, path: Path, display: str, known_rules: frozenset[str]) -> "FileContext":
+        """Read, tokenize and parse *path*; failures become diagnostics."""
+        source = path.read_text(encoding="utf-8")
+        ctx = cls(path, display, source)
+        try:
+            ctx.tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError) as error:
+            ctx.problems.append(
+                Diagnostic(
+                    rule="ANA100",
+                    path=display,
+                    line=getattr(error, "lineno", 1) or 1,
+                    column=0,
+                    message=f"file cannot be tokenized: {error}",
+                )
+            )
+        try:
+            ctx.tree = ast.parse(source, filename=display)
+        except SyntaxError as error:
+            ctx.problems.append(
+                Diagnostic(
+                    rule="ANA100",
+                    path=display,
+                    line=error.lineno or 1,
+                    column=error.offset or 0,
+                    message=f"file cannot be parsed: {error.msg}",
+                )
+            )
+        suppressions, bad = parse_suppressions(ctx.tokens, display, known_rules)
+        ctx.suppressions = suppressions
+        ctx.problems.extend(bad)
+        return ctx
+
+    # ------------------------------------------------------------------ #
+    # scope helpers used by rule ``applies_to`` predicates
+    # ------------------------------------------------------------------ #
+    def in_package(self, *segments: str) -> bool:
+        """Whether the resolved path contains *segments* consecutively.
+
+        ``ctx.in_package("repro")`` matches any file inside the ``repro``
+        package regardless of checkout location; ``ctx.in_package("repro",
+        "robust")`` matches the ``repro.robust`` subpackage only.
+        """
+        want = tuple(segments)
+        parts = self.parts
+        span = len(want)
+        return any(parts[i : i + span] == want for i in range(len(parts) - span + 1))
+
+    def is_test_file(self) -> bool:
+        """Test modules: anything under a ``tests`` directory or ``test_*.py``."""
+        return "tests" in self.parts or self.path.name.startswith("test_")
+
+    def is_conftest(self) -> bool:
+        """Pytest fixture module — exempt from the determinism rule."""
+        return self.path.name == "conftest.py"
+
+    def suppressed(self, diagnostic: Diagnostic) -> bool:
+        """Whether an inline suppression silences *diagnostic*."""
+        return any(
+            suppression.covers(diagnostic.rule, diagnostic.line)
+            for suppression in self.suppressions
+        )
+
+
+class Rule:
+    """Base class for invariant rules.
+
+    Subclasses set :attr:`id` / :attr:`title` / :attr:`rationale` and
+    implement :meth:`check`; :meth:`applies_to` defaults to every file.
+    """
+
+    id: str = "RULE000"
+    title: str = ""
+    rationale: str = ""
+    severity: str = Severity.ERROR
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.id}>"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Path-level scope predicate (default: every scanned file)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield one :class:`Diagnostic` per violation found in *ctx*."""
+        raise NotImplementedError
+
+    def diagnostic(self, ctx: FileContext, line: int, column: int, message: str) -> Diagnostic:
+        """Convenience constructor stamping this rule's id and severity."""
+        return Diagnostic(
+            rule=self.id,
+            path=ctx.display,
+            line=line,
+            column=column,
+            message=message,
+            severity=self.severity,
+        )
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """``True`` when no diagnostic survived suppression filtering."""
+        return not self.diagnostics
+
+    def as_dict(self) -> dict[str, Any]:
+        """The ``--format=json`` payload (schema version 1)."""
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "rules": list(self.rules),
+            "diagnostics": [diagnostic.as_dict() for diagnostic in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Report":
+        """Re-hydrate a report from its JSON payload (round-trip tested)."""
+        return cls(
+            diagnostics=[Diagnostic.from_dict(d) for d in payload["diagnostics"]],
+            files_scanned=int(payload["files_scanned"]),
+            suppressed=int(payload["suppressed"]),
+            rules=list(payload["rules"]),
+        )
+
+
+def collect_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files.
+
+    Directories are walked recursively; ``__pycache__`` and hidden
+    directories are skipped.  Missing paths raise ``FileNotFoundError`` so
+    a CI typo fails loudly instead of silently scanning nothing.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+            continue
+        for candidate in path.rglob("*.py"):
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in candidate.relative_to(path).parts
+            ):
+                continue
+            files.append(candidate)
+    return sorted(set(files))
+
+
+class Analyzer:
+    """Runs a rule set over a file set and aggregates the findings."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+        if rules is None:
+            from .rules import DEFAULT_RULES
+
+            rules = DEFAULT_RULES
+        self.rules: list[Rule] = list(rules)
+        ids = [rule.id for rule in self.rules]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate rule ids in {ids}")
+        self.known_rules = frozenset(ids)
+
+    def select(self, ids: Iterable[str]) -> "Analyzer":
+        """A new analyzer restricted to the given rule ids.
+
+        The restricted analyzer keeps the *full* rule universe for
+        suppression validation, so an inline annotation naming a shipped
+        but non-selected rule is not misreported as unknown (``ANA001``).
+        """
+        wanted = set(ids)
+        unknown = wanted - {rule.id for rule in self.rules}
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {sorted(unknown)}; "
+                f"known: {sorted(self.known_rules)}"
+            )
+        selected = Analyzer([rule for rule in self.rules if rule.id in wanted])
+        selected.known_rules = self.known_rules
+        return selected
+
+    def run(self, paths: Sequence[Path | str]) -> Report:
+        """Analyze every ``*.py`` file reachable from *paths*."""
+        report = Report(rules=sorted(rule.id for rule in self.rules))
+        for path in collect_files(paths):
+            ctx = FileContext.load(path, str(path), self.known_rules)
+            report.files_scanned += 1
+            findings = list(ctx.problems)
+            if ctx.tree is not None:
+                for rule in self.rules:
+                    if not rule.applies_to(ctx):
+                        continue
+                    findings.extend(rule.check(ctx))
+            for diagnostic in findings:
+                if ctx.suppressed(diagnostic):
+                    report.suppressed += 1
+                else:
+                    report.diagnostics.append(diagnostic)
+        report.diagnostics = sort_diagnostics(report.diagnostics)
+        return report

@@ -1,0 +1,113 @@
+"""Inline suppression comments: ``# analyze: ignore[RULE] -- reason``.
+
+A diagnostic is suppressed when the line it anchors to carries (or is
+covered by) an ignore comment naming its rule id.  Suppressions **must**
+carry a reason after ``--``; a reason-less ignore is itself reported as an
+``ANA000`` diagnostic, so silent blanket opt-outs are impossible — every
+suppression documents *why* the invariant does not apply at that site.
+
+Grammar (trailing on the finding's physical line, or a standalone comment
+on the line directly above it)::
+
+    # analyze: ignore[EXC001] -- benign race: mirror already settled
+    # analyze: ignore[TOL001,DET001] -- fixture corpus, intentionally bad
+
+Unknown rule ids inside the brackets are reported as ``ANA001`` rather
+than silently accepted, so typos cannot disable enforcement.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Iterable
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+#: ``# analyze: ignore[RULE1,RULE2] -- reason``
+_IGNORE_PATTERN = re.compile(
+    r"#\s*analyze:\s*ignore\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ignore comment: the rules it silences, where, and why."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether this suppression silences *rule* diagnostics on *line*.
+
+        Covers the comment's own line (trailing style) and the line right
+        below it (standalone comment-above style).
+        """
+        if self.reason is None or rule not in self.rules:
+            return False
+        return line in (self.line, self.line + 1)
+
+
+def parse_suppressions(
+    tokens: Iterable[tokenize.TokenInfo],
+    path: str,
+    known_rules: frozenset[str],
+) -> tuple[list[Suppression], list[Diagnostic]]:
+    """Extract suppressions from a token stream; validate them.
+
+    Returns ``(suppressions, problems)`` where *problems* are ``ANA000``
+    (missing reason) and ``ANA001`` (unknown rule id) diagnostics for
+    malformed ignore comments — malformed suppressions never silence
+    anything.
+    """
+    suppressions: list[Suppression] = []
+    problems: list[Diagnostic] = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _IGNORE_PATTERN.search(token.string)
+        if match is None:
+            continue
+        line, column = token.start
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        reason = match.group("reason")
+        if not reason:
+            problems.append(
+                Diagnostic(
+                    rule="ANA000",
+                    path=path,
+                    line=line,
+                    column=column,
+                    message=(
+                        "suppression comment is missing its reason: write "
+                        "'# analyze: ignore[RULE] -- <why the invariant does "
+                        "not apply here>'"
+                    ),
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        unknown = [rule for rule in rules if rule not in known_rules]
+        if not rules or unknown:
+            problems.append(
+                Diagnostic(
+                    rule="ANA001",
+                    path=path,
+                    line=line,
+                    column=column,
+                    message=(
+                        f"suppression names unknown rule(s) {unknown or ['<none>']}; "
+                        f"known rules: {', '.join(sorted(known_rules))}"
+                    ),
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        suppressions.append(Suppression(line=line, rules=rules, reason=reason))
+    return suppressions, problems

@@ -80,6 +80,7 @@ PAGES: dict[str, tuple[str, list[str]]] = {
         [
             "repro.obs.trace",
             "repro.obs.metrics",
+            "repro.obs.names",
             "repro.obs.export",
             "repro.obs.profile",
         ],
@@ -100,6 +101,16 @@ PAGES: dict[str, tuple[str, list[str]]] = {
     "index_pkg": (
         "repro.index — spatial indexes",
         ["repro.index.rtree", "repro.index.skyline", "repro.index.dominance"],
+    ),
+    "analyze": (
+        "tools.analyze — the invariant linter",
+        [
+            "tools.analyze.engine",
+            "tools.analyze.rules",
+            "tools.analyze.suppressions",
+            "tools.analyze.diagnostics",
+            "tools.analyze.cli",
+        ],
     ),
 }
 
@@ -167,7 +178,13 @@ def _render_symbol(module, name: str) -> list[str]:
         if block:
             lines.append(block)
         return lines
-    # Module-level constant.
+    # Module-level constant.  Sets render sorted: their repr order follows
+    # hash randomization, which would make the page unstable across runs.
+    if isinstance(obj, (set, frozenset)):
+        rendered = "{" + ", ".join(repr(item) for item in sorted(obj)) + "}"
+        if isinstance(obj, frozenset):
+            rendered = f"frozenset({rendered})"
+        return [f"### `{name}`\n", f"```python\n{name} = {rendered}\n```\n"]
     return [f"### `{name}`\n", f"```python\n{name} = {obj!r}\n```\n"]
 
 
@@ -218,6 +235,9 @@ def main(argv: list[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    # The repo root too, so the ``tools.analyze`` pages import when this
+    # script is run by path (sys.path[0] is then tools/, not the root).
+    sys.path.insert(0, str(REPO_ROOT))
     pages = generate()
 
     if arguments.check:
