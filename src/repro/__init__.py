@@ -39,7 +39,10 @@ resume.  :func:`sample_kspr` (``kspr(method="sample")``,
 ``Engine.query(approx=...)``) estimates the impact probability by seeded
 Monte Carlo sampling with Hoeffding / Clopper–Pearson confidence intervals
 at a requested ``(epsilon, delta)`` — the mode that opens dataset sizes the
-exact arrangement cannot reach.  Baselines, workload generators,
+exact arrangement cannot reach.  :class:`SnapshotStore` (with
+``Engine.commit`` / ``Engine.from_snapshot``) persists immutable, versioned
+dataset snapshots whose caches survive a process restart.  Baselines,
+workload generators,
 market-impact analysis and the full experiment harness live in the
 :mod:`repro.baselines`, :mod:`repro.data`, :mod:`repro.analysis` and
 :mod:`repro.experiments` subpackages.
@@ -73,6 +76,7 @@ from .obs import (
     use_tracer,
 )
 from .parallel import ShardedExecutor, parallel_cta
+from .snapshot import SnapshotDiff, SnapshotMeta, SnapshotStore, UpdateRecord
 from .stream import AnytimeQuery, StreamBudget, stream_kspr
 from .robust import (
     DEFAULT_TOLERANCE,
@@ -86,6 +90,8 @@ from .exceptions import (
     InvalidQueryError,
     LPSolverError,
     ReproError,
+    SnapshotError,
+    SnapshotIntegrityError,
 )
 from .records import Dataset, Record
 
@@ -101,6 +107,10 @@ __all__ = [
     "replay",
     "ShardedExecutor",
     "parallel_cta",
+    "SnapshotStore",
+    "SnapshotMeta",
+    "SnapshotDiff",
+    "UpdateRecord",
     "stream_kspr",
     "AnytimeQuery",
     "StreamBudget",
@@ -138,5 +148,7 @@ __all__ = [
     "InvalidQueryError",
     "GeometryError",
     "LPSolverError",
+    "SnapshotError",
+    "SnapshotIntegrityError",
     "__version__",
 ]

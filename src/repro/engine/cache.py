@@ -104,13 +104,18 @@ class CacheEntry:
 class ResultCache:
     """A bounded LRU cache of :class:`~repro.core.result.KSPRResult` objects.
 
+    ``capacity=0`` is legal and means *caching disabled*: every ``put`` is
+    immediately evicted again, every ``get`` misses.  ``capacity=1`` behaves
+    as a true single-slot LRU (a hit refreshes the slot, the next distinct
+    ``put`` replaces it).
+
     Not thread-safe by itself; :class:`repro.engine.Engine` serialises access
     through its own lock.
     """
 
     def __init__(self, capacity: int = 512) -> None:
-        if capacity < 1:
-            raise ValueError("cache capacity must be at least 1")
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
         self.capacity = capacity
         self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
         self.hits = 0
@@ -177,11 +182,18 @@ class ResultCache:
         are re-keyed under ``new_fingerprint`` (their answers are provably
         unchanged by the update) with LRU order preserved.  Returns
         ``(retained, dropped)`` counts.
+
+        Exception-safe: every ``is_affected`` verdict is collected *before*
+        any entry is mutated, so a callback that raises leaves the cache
+        exactly as it was — no entry re-keyed under the new fingerprint
+        while the index still holds the old keys, no half-applied swap.
         """
+        entries = list(self._entries.values())
+        affected = [bool(is_affected(entry)) for entry in entries]
         retained: OrderedDict[tuple, CacheEntry] = OrderedDict()
         dropped = 0
-        for entry in self._entries.values():
-            if is_affected(entry):
+        for entry, drop in zip(entries, affected):
+            if drop:
                 dropped += 1
                 continue
             entry.fingerprint = new_fingerprint
@@ -236,6 +248,16 @@ class PartialEntry:
     #: (its snapshots would silently carry only the trivial upper bound), so
     #: the engine declines to resume it for such callers.
     capture: bool = True
+    #: The effective (canonicalised) query options the stream ran under.
+    #: Live suspended generators cannot be serialised, so persistence
+    #: (:mod:`repro.snapshot`) stores the *replay recipe* instead — these
+    #: options plus the consumed-tick count — and the engine rebuilds the
+    #: stream deterministically on first resume after a restart.
+    options: dict | None = None
+    #: Worker count of the suspended producers (informational; restarted
+    #: replays always use the serial path, which is snapshot-for-snapshot
+    #: identical to the sharded one).
+    workers: int | None = None
 
     @property
     def key(self) -> tuple:
@@ -252,6 +274,9 @@ class PartialEntry:
 class PartialStore:
     """A bounded LRU of paused anytime-query checkpoints.
 
+    ``capacity=0`` disables checkpointing: a ``put`` immediately evicts (and
+    closes) the entry, so no paused stream is ever retained.
+
     Mirrors :class:`ResultCache`'s keying and update reconciliation, with two
     differences: a ``pop`` (checkout) removes the entry — a checkpoint must
     never be advanced by two consumers concurrently — and every entry that
@@ -261,8 +286,8 @@ class PartialStore:
     """
 
     def __init__(self, capacity: int = 32) -> None:
-        if capacity < 1:
-            raise ValueError("partial store capacity must be at least 1")
+        if capacity < 0:
+            raise ValueError("partial store capacity must be non-negative")
         self.capacity = capacity
         self._entries: OrderedDict[tuple, PartialEntry] = OrderedDict()
         self.saves = 0
@@ -275,6 +300,10 @@ class PartialStore:
 
     def __contains__(self, key: tuple) -> bool:
         return key in self._entries
+
+    def entries(self) -> list[PartialEntry]:
+        """Current checkpoints, least recently used first (for persistence)."""
+        return list(self._entries.values())
 
     def peek(self, key: tuple) -> PartialEntry | None:
         """Look at a checkpoint without checking it out or counting a resume.
@@ -335,11 +364,18 @@ class PartialStore:
         provably cannot change their answer *or* their pruned competitor
         input, so the suspended computation remains exactly the one a cold
         re-run would perform.  Returns ``(retained, dropped)``.
+
+        Exception-safe like :meth:`ResultCache.apply_update`: all verdicts
+        are decided before any checkpoint is closed or re-keyed, so a
+        raising ``is_affected`` leaves every checkpoint untouched (and
+        still open).
         """
+        entries = list(self._entries.values())
+        affected = [bool(is_affected(entry)) for entry in entries]
         retained: OrderedDict[tuple, PartialEntry] = OrderedDict()
         dropped = 0
-        for entry in self._entries.values():
-            if is_affected(entry):
+        for entry, drop in zip(entries, affected):
+            if drop:
                 entry.close()
                 dropped += 1
                 continue

@@ -70,7 +70,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -79,7 +79,7 @@ from ..core.base import PreparedQuery
 from ..core.bounds import BoundsMode
 from ..core.query import resolve_method, validate_query
 from ..core.result import KSPRResult, PartialKSPRResult
-from ..exceptions import InvalidDatasetError, InvalidQueryError
+from ..exceptions import InvalidDatasetError, InvalidQueryError, ReproError, SnapshotError
 from ..geometry.halfspace import Hyperplane
 from ..index.rtree import AggregateRTree
 from ..index.skyline import SkybandDelta, SkybandIndex
@@ -90,6 +90,9 @@ from ..obs.trace import Tracer, current_tracer, use_tracer
 from ..records import Dataset, FocalPartition, dominates
 from ..robust import Tolerance, resolve_tolerance
 from .cache import CacheEntry, PartialEntry, PartialStore, ResultCache, options_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..snapshot.store import SnapshotStore
 
 __all__ = ["Engine", "EngineStats"]
 
@@ -256,6 +259,14 @@ class Engine:
         self._hyperplanes: dict[tuple, dict[int, Hyperplane]] = {}
         self._used_ids = {int(record_id) for record_id in dataset.ids}
         self._next_id = dataset.next_record_id()
+        # Explicit-id inserts below this floor are rejected.  0 for a fresh
+        # engine (no behaviour change); a restored engine raises it to the
+        # persisted watermark, because ids issued-then-deleted before the
+        # snapshot are invisible to ``_used_ids`` here yet must stay dead.
+        self._id_floor = 0
+        # The last snapshot id this engine committed or was restored from;
+        # the default parent link of the next :meth:`commit`.
+        self._committed_parent: str | None = None
         self._lock = threading.RLock()
         self.stats = EngineStats()
         self.stats.prepare_seconds += time.perf_counter() - prepare_start
@@ -902,11 +913,48 @@ class Engine:
             return
 
         if checkpoint is not None:
-            anytime: AnytimeQuery = checkpoint.query
+            from ..snapshot.persist import ReplayCheckpoint  # local: engine <-> snapshot
+
+            anytime = checkpoint.query
             fingerprint = checkpoint.fingerprint
             # The suspended producers keep their original capture mode; a
             # re-checkpoint must record that, not the caller's flag.
             capture = checkpoint.capture
+            if isinstance(anytime, ReplayCheckpoint):
+                # A persisted checkpoint survived a restart as a replay
+                # recipe, not a live generator.  Rebuild the stream through
+                # the ordinary cold path and fast-forward exactly the
+                # persisted number of work units: the tick stream is
+                # deterministic for a fixed (state, focal, k, method,
+                # options), so this lands on the very frontier the original
+                # process was suspended at.
+                replay = anytime
+                replay_options = dict(replay.options)
+                space = _ORIGINAL if method_name in ("op_cta", "olp_cta") else (
+                    replay_options.get("space", _TRANSFORMED)
+                )
+                entry, prepared_snapshot = self._prepared_for(focal_array, k, space)
+                if prepared_snapshot.fingerprint() != fingerprint:
+                    # An update raced the resume; the recipe's tick cursor
+                    # describes a superseded state.  Re-key to the state the
+                    # prepared entry is consistent with and run cold —
+                    # slower, never wrong.
+                    snapshot = prepared_snapshot
+                    fingerprint = snapshot.fingerprint()
+                    key = (fingerprint, focal_array.tobytes(), k, method_name, opts)
+                    replay = None
+                anytime = stream_kspr(
+                    prepared_snapshot,
+                    focal_array,
+                    k,
+                    method=method_name,
+                    prepared=entry.prepared,
+                    capture=capture,
+                    **replay_options,
+                )
+                if replay is not None and replay.ticks > 0:
+                    for _ in anytime.advance(max_batches=replay.ticks):
+                        pass
         else:
             space = _ORIGINAL if method_name in ("op_cta", "olp_cta") else options.get(
                 "space", _TRANSFORMED
@@ -977,6 +1025,8 @@ class Engine:
                                 query=anytime,
                                 pruned=pruned,
                                 capture=capture,
+                                options=dict(options),
+                                workers=workers,
                             )
                         )
                         self.stats.partials_saved += 1
@@ -1043,6 +1093,128 @@ class Engine:
             )
             self.stats.adopted_results += 1
             return True
+
+    # ------------------------------------------------------------------ #
+    # persistence (repro.snapshot)
+    # ------------------------------------------------------------------ #
+    @property
+    def committed_snapshot(self) -> str | None:
+        """Snapshot id this engine last committed, or was restored from."""
+        with self._lock:
+            return self._committed_parent
+
+    def commit(self, store: "SnapshotStore", parent: str | None = None) -> str:
+        """Persist the current dataset state — and both caches — to ``store``.
+
+        Commits the live dataset as an immutable, content-addressed snapshot
+        (idempotent: an unchanged state dedupes onto its existing id) and
+        persists the result cache plus every resumable paused-stream
+        checkpoint keyed on it, so a later
+        :meth:`from_snapshot` restores a *warm* engine.  ``parent`` defaults
+        to the engine's previous commit, chaining successive commits into a
+        lineage; returns the snapshot id.
+        """
+        with self._lock:
+            if parent is None:
+                parent = self._committed_parent
+            snapshot_id = store.commit(self._snapshot, parent=parent)
+            store.save_caches(
+                snapshot_id, self._result_cache.entries(), self._partials.entries()
+            )
+            self._committed_parent = snapshot_id
+            return snapshot_id
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        store: "SnapshotStore",
+        snapshot_id: str | None = None,
+        *,
+        replay_to: str | None = None,
+        **engine_options,
+    ) -> "Engine":
+        """Restore a warm engine from a committed snapshot in a fresh process.
+
+        The restored engine is indistinguishable from the one that committed:
+        same dataset (fingerprint-verified checkout), same id allocator
+        watermark (a dead max-id stays dead), and — when caches were
+        persisted — the same result-cache entries (served as hits, byte-
+        identical) and paused-stream checkpoints (resumed from their replay
+        recipes, see :class:`~repro.snapshot.ReplayCheckpoint`).
+
+        ``replay_to`` names a *newer* snapshot in the same store: the
+        insert/delete diff between the two versions is replayed through the
+        ordinary :meth:`insert` / :meth:`delete` path, so the restored
+        caches are reconciled by the precise rules-1-4 invalidation —
+        entries the interim updates provably cannot affect keep serving —
+        instead of being flushed wholesale.  If the replay cannot reproduce
+        the target state exactly (verified against the committed
+        fingerprint), the engine falls back to a plain checkout of
+        ``replay_to``, trading the caches for guaranteed-correct state.
+
+        ``snapshot_id`` defaults to the store's latest commit;
+        ``engine_options`` are forwarded to the constructor (method, k_max,
+        cache sizes, ...).
+        """
+        if snapshot_id is None:
+            snapshot_id = store.latest()
+            if snapshot_id is None:
+                raise SnapshotError("cannot restore: the store holds no snapshots")
+        engine = cls._restore_at(store, snapshot_id, engine_options)
+        for entry in store.load_result_entries(snapshot_id):
+            engine._result_cache.put(entry)
+        for entry in store.load_partial_entries(snapshot_id):
+            engine._partials.put(entry)
+        if replay_to is not None and replay_to != snapshot_id:
+            target = store.meta(replay_to)
+            try:
+                diff = store.diff(snapshot_id, replay_to)
+                for update in diff.updates:
+                    if update.op == "delete":
+                        engine.delete(update.record_id)
+                    else:
+                        engine.insert(update.values, record_id=update.record_id)
+                    store.replayed_updates += 1
+                replayed = engine.fingerprint == target.fingerprint
+            except (ReproError, KeyError):
+                # A diff the update path cannot replay (id below the floor,
+                # emptied dataset, inconsistent stores): fall back below.
+                replayed = False
+            if replayed:
+                engine._stamp_watermark(target.id_high_watermark)
+                engine._committed_parent = replay_to
+            else:
+                store.restore_fallbacks += 1
+                engine = cls._restore_at(store, replay_to, engine_options)
+        store.restores += 1
+        return engine
+
+    @classmethod
+    def _restore_at(cls, store: "SnapshotStore", snapshot_id: str, engine_options: dict) -> "Engine":
+        """Cold-restore an engine at one committed snapshot (no caches)."""
+        dataset = store.checkout(snapshot_id)
+        engine = cls(dataset, **engine_options)
+        engine._id_floor = dataset.id_high_watermark
+        engine._committed_parent = snapshot_id
+        return engine
+
+    def _stamp_watermark(self, watermark: int) -> None:
+        """Adopt a persisted id watermark after a successful diff replay.
+
+        Records inserted *and* deleted between two commits are invisible to
+        the content diff yet consumed identifiers, so the replayed engine's
+        allocator can trail the target snapshot's watermark; the committed
+        value is authoritative.  The id floor rises with it — every id under
+        the target watermark may have lived and died before the restore.
+        """
+        watermark = int(watermark)
+        with self._lock:
+            if watermark > self._next_id:
+                self._next_id = watermark
+                self._snapshot = self._skyband.snapshot(
+                    self._name, id_high_watermark=self._next_id
+                )
+            self._id_floor = max(self._id_floor, watermark)
 
     def _prepared_for(
         self, focal: np.ndarray, k: int, space: str, build_tree: bool = True
@@ -1196,6 +1368,13 @@ class Engine:
                 raise InvalidDatasetError(
                     f"record id {record_id} was already used; ids are never recycled"
                 )
+            if self._id_floor and record_id < self._id_floor:
+                raise InvalidDatasetError(
+                    f"record id {record_id} is below this restored engine's id "
+                    f"floor ({self._id_floor}); every id under the floor may "
+                    "have been issued (and deleted) before the snapshot, and "
+                    "ids are never recycled"
+                )
             delta = self._skyband.insert(row, record_id)
             self._used_ids.add(record_id)
             self._next_id = max(self._next_id, record_id + 1)
@@ -1222,7 +1401,11 @@ class Engine:
 
     def _finish_update(self, delta: SkybandDelta, inserted: bool) -> None:
         """Refresh the snapshot and reconcile both caches after an update."""
-        self._snapshot = self._skyband.snapshot(self._name)
+        # Stamp the engine's monotone id allocator onto the snapshot: after a
+        # delete of the max-id record the surviving ids alone would re-derive
+        # a lower watermark, and a persisted snapshot restored from it could
+        # resurrect the dead id.
+        self._snapshot = self._skyband.snapshot(self._name, id_high_watermark=self._next_id)
         new_fingerprint = self._snapshot.fingerprint()
 
         retained, dropped = self._result_cache.apply_update(

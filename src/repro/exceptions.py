@@ -34,6 +34,24 @@ class GeometryError(ReproError):
     """
 
 
+class SnapshotError(ReproError):
+    """Raised for snapshot-store failures (missing snapshot, bad layout...).
+
+    Covers structural problems with the on-disk store: unknown snapshot ids,
+    malformed metadata, or commits against a corrupted directory tree.
+    """
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """Raised when persisted snapshot bytes fail fingerprint verification.
+
+    A checkout recomputes the dataset fingerprint from the decoded payload
+    and compares it against the committed metadata; any mismatch (bit rot,
+    truncated write that slipped past the atomic-rename protocol, manual
+    tampering) raises this instead of silently serving wrong data.
+    """
+
+
 class LPSolverError(ReproError):
     """Raised when the underlying LP solver fails unexpectedly.
 

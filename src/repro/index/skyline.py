@@ -343,10 +343,21 @@ class SkybandIndex:
             changed_counts=self._counts[changed].copy(),
         )
 
-    def snapshot(self, name: str = "dataset") -> Dataset:
-        """Immutable :class:`~repro.records.Dataset` of the live records."""
+    def snapshot(self, name: str = "dataset", id_high_watermark: int | None = None) -> Dataset:
+        """Immutable :class:`~repro.records.Dataset` of the live records.
+
+        ``id_high_watermark`` lets the owning engine stamp the snapshot with
+        its monotone id allocator, so a snapshot taken after a
+        delete-of-the-max-id never re-derives a lower watermark from the
+        surviving ids (see :attr:`repro.records.Dataset.id_high_watermark`).
+        """
         positions = self.active_positions()
-        return Dataset(self._values[positions], ids=self._ids[positions], name=name)
+        return Dataset(
+            self._values[positions],
+            ids=self._ids[positions],
+            name=name,
+            id_high_watermark=id_high_watermark,
+        )
 
     def backing_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Zero-copy ``(values, ids)`` views over the row store, tombstones included.

@@ -49,6 +49,7 @@ __all__ = [
     "ENGINE_METRIC_NAMES",
     "QUERY_METRIC_NAMES",
     "SERVE_METRIC_NAMES",
+    "SNAPSHOT_METRIC_NAMES",
     "DYNAMIC_METRIC_PREFIXES",
     "ALL_METRIC_NAMES",
 ]
@@ -176,6 +177,24 @@ ENGINE_METRIC_NAMES: tuple[str, ...] = (
 )
 
 # --------------------------------------------------------------------------- #
+# snapshot.* — the persistence tier (repro.snapshot, PR 9)
+# --------------------------------------------------------------------------- #
+SNAPSHOT_METRIC_NAMES: tuple[str, ...] = (
+    "snapshot.commits",
+    "snapshot.commits.deduped",
+    "snapshot.checkouts",
+    "snapshot.verify.failures",
+    "snapshot.diffs",
+    "snapshot.cache.saves",
+    "snapshot.cache.loads",
+    "snapshot.restore.engines",
+    "snapshot.restore.replayed_updates",
+    "snapshot.restore.fallbacks",
+    "snapshot.store.snapshots",
+    "snapshot.store.bytes",
+)
+
+# --------------------------------------------------------------------------- #
 # the catalogue
 # --------------------------------------------------------------------------- #
 #: Declared dynamic families: an f-string metric name is legal iff its
@@ -190,4 +209,5 @@ ALL_METRIC_NAMES: frozenset[str] = (
     frozenset(SERVE_METRIC_NAMES)
     | frozenset(QUERY_METRIC_NAMES)
     | frozenset(ENGINE_METRIC_NAMES)
+    | frozenset(SNAPSHOT_METRIC_NAMES)
 )

@@ -121,6 +121,14 @@ class Dataset:
         ``0 .. n-1``.
     name:
         Optional human-readable name (used by the experiment harness).
+    id_high_watermark:
+        Smallest identifier guaranteed never to have been issued.  Defaults
+        to ``max(ids) + 1`` (``0`` for an empty dataset), but derived
+        datasets — and restored snapshots — carry the watermark of their
+        ancestry so that deleting the max-id record can never cause a later
+        :meth:`next_record_id` to resurrect the dead identifier.  The
+        watermark is *identity state*, not content: it does not participate
+        in :meth:`fingerprint`.
     """
 
     def __init__(
@@ -128,6 +136,7 @@ class Dataset:
         values: Iterable[Sequence[float]] | np.ndarray,
         ids: Sequence[int] | np.ndarray | None = None,
         name: str = "dataset",
+        id_high_watermark: int | None = None,
     ) -> None:
         array = np.asarray(values, dtype=float)
         if array.ndim == 1:
@@ -154,6 +163,17 @@ class Dataset:
         id_array.setflags(write=False)
         self._ids = id_array
         self.name = name
+        floor = int(id_array.max()) + 1 if id_array.size else 0
+        if id_high_watermark is None:
+            self._id_high_watermark = floor
+        else:
+            watermark = int(id_high_watermark)
+            if watermark < floor:
+                raise InvalidDatasetError(
+                    f"id_high_watermark {watermark} is not above the largest "
+                    f"live record id ({floor - 1})"
+                )
+            self._id_high_watermark = watermark
         self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
@@ -220,11 +240,27 @@ class Dataset:
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 
+    @property
+    def id_high_watermark(self) -> int:
+        """Smallest identifier guaranteed never to have been issued.
+
+        Monotone across derivations: deleting records never lowers it, so an
+        id freed by a deletion is never handed out again.  (The historical
+        ``max(ids) + 1`` policy silently reassigned the dead id after a
+        delete-max-then-insert sequence, conflating two distinct records in
+        caches, stream checkpoints and persisted snapshots.)
+        """
+        return self._id_high_watermark
+
     def next_record_id(self) -> int:
-        """Smallest identifier larger than every existing one (stable-id policy)."""
-        if self.cardinality == 0:
-            return 0
-        return int(self._ids.max()) + 1
+        """Smallest identifier that was provably never issued (stable-id policy).
+
+        Served from :attr:`id_high_watermark` rather than ``max(ids) + 1``:
+        the two differ exactly when the max-id record has been deleted, in
+        which case reusing its id would alias the dead record in anything
+        keyed on identifiers.
+        """
+        return self._id_high_watermark
 
     def with_appended(
         self, values: Sequence[float] | np.ndarray, record_id: int | None = None
@@ -245,7 +281,12 @@ class Dataset:
             raise InvalidDatasetError(f"record id {record_id} is already in use")
         new_values = np.vstack([self._values, row[None, :]])
         new_ids = np.concatenate([self._ids, [record_id]])
-        return Dataset(new_values, ids=new_ids, name=self.name)
+        return Dataset(
+            new_values,
+            ids=new_ids,
+            name=self.name,
+            id_high_watermark=max(self._id_high_watermark, int(record_id) + 1),
+        )
 
     # ------------------------------------------------------------------ #
     # scoring and ranking
@@ -300,9 +341,19 @@ class Dataset:
         )
 
     def subset(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
-        """Return a new dataset holding only the rows at ``indices``."""
+        """Return a new dataset holding only the rows at ``indices``.
+
+        The id watermark is inherited: a subset (and hence
+        :meth:`without_ids`) never forgets which identifiers its ancestry
+        already issued.
+        """
         indices = np.asarray(indices, dtype=int)
-        return Dataset(self._values[indices], ids=self._ids[indices], name=self.name)
+        return Dataset(
+            self._values[indices],
+            ids=self._ids[indices],
+            name=self.name,
+            id_high_watermark=self._id_high_watermark,
+        )
 
     def without_ids(self, excluded: Iterable[int]) -> "Dataset":
         """Return a dataset excluding the records whose id is in ``excluded``."""

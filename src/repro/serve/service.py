@@ -48,6 +48,7 @@ from typing import Any, AsyncIterator, Callable, Iterator
 from ..approx.estimator import ApproxSpec
 from ..approx.result import ApproxKSPRResult
 from ..core.result import KSPRResult, PartialKSPRResult
+from ..exceptions import SnapshotError
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from ..obs.names import (
     SERVE_ACTIVE,
@@ -260,8 +261,14 @@ class KSPRService:
         admission: AdmissionController | None = None,
         registry: MetricsRegistry | None = None,
         tracer=None,
+        snapshot_store=None,
     ) -> None:
         self.engine = engine
+        #: Optional :class:`~repro.snapshot.SnapshotStore`.  When configured,
+        #: :meth:`commit_snapshot` persists the engine's state on demand and
+        #: :meth:`close` commits once more on shutdown, so the next process
+        #: can restore a warm engine with ``Engine.from_snapshot``.
+        self.snapshot_store = snapshot_store
         self.config = config or ServeConfig()
         self.clock = self.config.clock
         self.admission = admission or AdmissionController(
@@ -338,6 +345,22 @@ class KSPRService:
     async def _run_blocking(self, fn, *args, **kwargs):
         """Run a blocking engine call on the pool and await its result."""
         return await asyncio.wrap_future(self._pool.submit(fn, *args, **kwargs))
+
+    async def commit_snapshot(self) -> str:
+        """Persist the engine's state — and its warm caches — right now.
+
+        Runs :meth:`Engine.commit <repro.engine.Engine.commit>` against the
+        configured snapshot store on the worker pool (the event loop never
+        blocks on disk I/O) and returns the snapshot id.  Raises
+        :class:`~repro.exceptions.SnapshotError` when the service was built
+        without ``snapshot_store=``.
+        """
+        if self.snapshot_store is None:
+            raise SnapshotError(
+                "this service was configured without a snapshot store; pass "
+                "snapshot_store= to KSPRService to enable commits"
+            )
+        return await self._run_blocking(self.engine.commit, self.snapshot_store)
 
     def _note_honesty(self, approx: ApproxKSPRResult, done: concurrent.futures.Future) -> None:
         """Score one served approx answer against its arrived refinement."""
@@ -595,4 +618,10 @@ class KSPRService:
         for handle in handles:
             handle.cancel.set()
         await self.quiesce()
+        if self.snapshot_store is not None:
+            # Durable shutdown: persist the final dataset state plus every
+            # warm result entry and resumable stream checkpoint, so the next
+            # process picks up with ``Engine.from_snapshot`` where this one
+            # left off.
+            await self._run_blocking(self.engine.commit, self.snapshot_store)
         self._pool.shutdown(wait=True)

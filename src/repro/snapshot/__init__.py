@@ -1,0 +1,37 @@
+"""Persistent, versioned dataset snapshots with restart-surviving caches.
+
+The durability tier of the stack (ROADMAP north-star item "persistent,
+versioned dataset snapshots"): :class:`SnapshotStore` commits immutable,
+content-addressed dataset versions to disk with crash-safe atomic writes,
+checks them out byte-identically (fingerprint-verified), and expresses the
+delta between any two versions as first-class insert/delete
+:class:`UpdateRecord` operations.
+
+On top of the store, :meth:`repro.engine.Engine.commit` persists an engine's
+dataset *and* its caches (results + paused-stream replay recipes), and
+:meth:`repro.engine.Engine.from_snapshot` restores a warm engine in a fresh
+process — optionally replaying the diff to a newer snapshot through the
+ordinary update path, so the restored caches are invalidated precisely
+(rules 1-4) instead of flushed.
+
+See ``docs/guides/snapshots.md`` for a tour.
+"""
+
+from .persist import ReplayCheckpoint, checkpoint_of
+from .store import (
+    SnapshotDiff,
+    SnapshotMeta,
+    SnapshotStore,
+    UpdateRecord,
+    snapshot_id_of,
+)
+
+__all__ = [
+    "SnapshotStore",
+    "SnapshotMeta",
+    "SnapshotDiff",
+    "UpdateRecord",
+    "ReplayCheckpoint",
+    "checkpoint_of",
+    "snapshot_id_of",
+]

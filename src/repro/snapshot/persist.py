@@ -1,0 +1,195 @@
+"""Serialisation of engine cache state keyed on committed snapshots.
+
+The engine's two caches survive a process restart through this module:
+
+* **Result cache** — :class:`~repro.engine.cache.CacheEntry` objects pickle
+  directly (a :class:`~repro.core.result.KSPRResult` already crosses process
+  boundaries in :mod:`repro.parallel`), so the entries are persisted as-is,
+  LRU order preserved.
+
+* **Paused streams** — a live :class:`~repro.stream.AnytimeQuery` holds a
+  suspended generator frame (CellTree, frontier, certified cells), which no
+  serialiser can capture.  Persistence therefore stores the **replay
+  recipe** instead: the stream's canonical options plus the number of work
+  units already consumed (:class:`ReplayCheckpoint`).  Because the tick
+  stream of a kSPR query is deterministic for fixed (dataset state, focal,
+  k, method, options), a restarted engine rebuilds the stream through its
+  ordinary cold path and fast-forwards exactly ``ticks`` units — landing on
+  the same suspended frontier the original process held, after which the
+  resumed run is byte-identical to an uninterrupted one.
+
+Every load path is defensive: a missing, truncated or undecodable cache
+file yields an empty list (cache persistence is an optimisation, never a
+correctness requirement), and entries whose fingerprint disagrees with the
+committed snapshot are dropped rather than trusted.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..engine.cache import CacheEntry, PartialEntry
+    from .store import SnapshotStore
+
+__all__ = [
+    "ReplayCheckpoint",
+    "dump_result_entries",
+    "load_result_entries",
+    "dump_partial_entries",
+    "load_partial_entries",
+]
+
+#: Version tag embedded in every pickled cache payload.
+_CACHE_FORMAT = 1
+
+
+@dataclass
+class ReplayCheckpoint:
+    """A paused anytime stream, described by how to replay it.
+
+    Stands in for the live :class:`~repro.stream.AnytimeQuery` inside a
+    restored :class:`~repro.engine.cache.PartialEntry`: on the first resume
+    after a restart the engine rebuilds the stream from ``options`` via its
+    cold path and drains exactly ``ticks`` work units before handing it to
+    the consumer.  ``capture`` preserves the original frontier-capture mode
+    (a no-capture recipe must not silently serve bracket-reading callers);
+    ``workers`` is informational — replays always run the serial path,
+    whose tick stream is snapshot-for-snapshot identical to the sharded
+    one.
+    """
+
+    ticks: int
+    options: dict = field(default_factory=dict)
+    capture: bool = True
+    workers: int | None = None
+
+    def close(self) -> None:
+        """Recipes hold no live resources; closing is a no-op.
+
+        Present so a restored :class:`PartialEntry` can be evicted or
+        invalidated through the exact code path a live checkpoint takes.
+        """
+
+
+def checkpoint_of(entry: "PartialEntry") -> ReplayCheckpoint | None:
+    """The replay recipe of one partial entry, or None if unrecorded.
+
+    A restored-but-never-resumed entry already carries a recipe in its
+    ``query`` slot and re-persists verbatim; a live suspended stream is
+    described by its recorded options and its
+    :attr:`~repro.stream.AnytimeQuery.ticks_consumed` cursor.  Entries
+    predating options recording (``options is None``) cannot be replayed
+    and are skipped.
+    """
+    if isinstance(entry.query, ReplayCheckpoint):
+        return entry.query
+    if entry.options is None:
+        return None
+    ticks = getattr(entry.query, "ticks_consumed", None)
+    if ticks is None:
+        return None
+    return ReplayCheckpoint(
+        ticks=int(ticks),
+        options=dict(entry.options),
+        capture=entry.capture,
+        workers=entry.workers,
+    )
+
+
+def _dump(store: "SnapshotStore", path: Path, fingerprint: str, records: list) -> None:
+    payload = pickle.dumps(
+        {"format": _CACHE_FORMAT, "fingerprint": fingerprint, "entries": records},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    store._write_atomic(path, payload)
+
+
+def _load(path: Path, fingerprint: str) -> list:
+    if not path.exists():
+        return []
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    # analyze: ignore[EXC001] -- a torn/stale cache file degrades to a cold cache, never an error
+    except Exception:
+        return []
+    if not isinstance(payload, dict) or payload.get("format") != _CACHE_FORMAT:
+        return []
+    if payload.get("fingerprint") != fingerprint:
+        return []
+    entries = payload.get("entries")
+    return list(entries) if isinstance(entries, list) else []
+
+
+def dump_result_entries(
+    store: "SnapshotStore", path: Path, fingerprint: str, entries
+) -> int:
+    """Persist result-cache entries matching ``fingerprint``; return the count."""
+    matching = [entry for entry in entries if entry.fingerprint == fingerprint]
+    _dump(store, path, fingerprint, matching)
+    return len(matching)
+
+
+def load_result_entries(path: Path, fingerprint: str) -> "list[CacheEntry]":
+    """Load persisted result-cache entries, dropping any stale-fingerprint ones."""
+    from ..engine.cache import CacheEntry
+
+    return [
+        entry
+        for entry in _load(path, fingerprint)
+        if isinstance(entry, CacheEntry) and entry.fingerprint == fingerprint
+    ]
+
+
+def dump_partial_entries(
+    store: "SnapshotStore", path: Path, fingerprint: str, entries
+) -> int:
+    """Persist paused-stream checkpoints as replay recipes; return the count.
+
+    Each persisted record is the original :class:`PartialEntry` with its
+    un-serialisable live query swapped for its :class:`ReplayCheckpoint`;
+    entries without a recorded recipe are skipped (they simply restart
+    cold after a restore — a performance loss, never a wrong answer).
+    """
+    from ..engine.cache import PartialEntry
+
+    records = []
+    for entry in entries:
+        if entry.fingerprint != fingerprint:
+            continue
+        recipe = checkpoint_of(entry)
+        if recipe is None:
+            continue
+        records.append(
+            PartialEntry(
+                fingerprint=entry.fingerprint,
+                focal=entry.focal,
+                k=entry.k,
+                method=entry.method,
+                opts=entry.opts,
+                query=recipe,
+                pruned=entry.pruned,
+                capture=entry.capture,
+                options=dict(entry.options) if entry.options is not None else None,
+                workers=entry.workers,
+            )
+        )
+    _dump(store, path, fingerprint, records)
+    return len(records)
+
+
+def load_partial_entries(path: Path, fingerprint: str) -> "list[PartialEntry]":
+    """Load persisted stream checkpoints (``query`` holds a :class:`ReplayCheckpoint`)."""
+    from ..engine.cache import PartialEntry
+
+    return [
+        entry
+        for entry in _load(path, fingerprint)
+        if isinstance(entry, PartialEntry)
+        and entry.fingerprint == fingerprint
+        and isinstance(entry.query, ReplayCheckpoint)
+    ]

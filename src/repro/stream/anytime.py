@@ -141,6 +141,7 @@ class AnytimeQuery:
         self._regions: list[PreferenceRegion] = []
         self._tree = None
         self._batches = 0
+        self._ticks_consumed = 0
         self._done = False
         self._error: BaseException | None = None
         self._result: KSPRResult | None = None
@@ -174,6 +175,17 @@ class AnytimeQuery:
     def context(self) -> QueryContext:
         """The underlying query context (dataset snapshot, stats, tolerance)."""
         return self._context
+
+    @property
+    def ticks_consumed(self) -> int:
+        """Total work units pulled from the producer over the query's lifetime.
+
+        This is the *replay cursor* of a persisted checkpoint: the tick
+        streams are deterministic, so a fresh query over the same prepared
+        input advanced by exactly this many units is suspended at the
+        byte-identical point (see :mod:`repro.snapshot`).
+        """
+        return self._ticks_consumed
 
     def partial(self) -> PartialKSPRResult:
         """The most recent snapshot (an empty zero-progress one before any advance)."""
@@ -249,6 +261,7 @@ class AnytimeQuery:
                         )
                         raise self._error
                     snapshot = self._consume(tick)
+                    self._ticks_consumed += 1
                     self._idle_since = time.perf_counter()
                 budget.consumed += 1
                 yield snapshot

@@ -8,7 +8,7 @@ import pytest
 from repro import Dataset, kspr
 from repro.data import independent_dataset
 from repro.engine import Engine, ResultCache
-from repro.engine.cache import CacheEntry, options_key
+from repro.engine.cache import CacheEntry, PartialEntry, PartialStore, options_key
 from repro.index.skyline import SkybandDelta
 
 
@@ -298,3 +298,141 @@ class TestBoundaryCrossingSafetyNet:
         delta = self._delta(engine, changed_id=0, changed_count=self.K + 3)
         # An unpruned entry depends on the full competitor set: always dropped.
         assert engine._is_affected(self.FOCAL, self.K, False, delta, inserted=True)
+
+
+class _ClosableQuery:
+    """Stand-in for a suspended AnytimeQuery: all the store touches is close()."""
+
+    def __init__(self) -> None:
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def _partial(tag: str) -> PartialEntry:
+    return PartialEntry(
+        fingerprint="fp",
+        focal=np.array([float(len(tag)), 1.0]),
+        k=2,
+        method=tag,
+        opts=(),
+        query=_ClosableQuery(),
+    )
+
+
+class TestApplyUpdateExceptionSafety:
+    """A raising is_affected callback must leave both caches fully intact.
+
+    The bug this guards against: the one-pass implementation re-keyed (and,
+    for checkpoints, closed) entries *while* iterating, so a callback raising
+    midway left the cache half re-keyed under the new fingerprint — stale
+    answers reachable under keys the dataset state no longer justified.
+    """
+
+    def _boom(self, entry):
+        raise RuntimeError("boom")
+
+    def test_result_cache_is_untouched_by_a_raising_callback(self):
+        cache = ResultCache(capacity=4)
+        entries = [
+            CacheEntry("fp", np.array([float(i), 1.0]), 2, "m", (), object())
+            for i in range(3)
+        ]
+        for entry in entries:
+            cache.put(entry)
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.apply_update("fp2", self._boom)
+        assert len(cache) == 3
+        assert all(entry.fingerprint == "fp" for entry in cache.entries())
+        assert [entry.key for entry in cache.entries()] == [e.key for e in entries]
+        assert cache.invalidated == 0 and cache.rekeyed == 0
+        # Every entry is still served under its original key.
+        for entry in entries:
+            assert cache.get(entry.key) is entry.result
+
+    def test_partial_store_is_untouched_and_still_open(self):
+        store = PartialStore(capacity=4)
+        entries = [_partial(tag) for tag in ("a", "bb", "ccc")]
+        for entry in entries:
+            store.put(entry)
+        with pytest.raises(RuntimeError, match="boom"):
+            store.apply_update("fp2", self._boom)
+        assert len(store) == 3
+        assert all(not entry.query.closed for entry in entries)
+        assert all(entry.fingerprint == "fp" for entry in store.entries())
+        assert store.invalidated == 0
+        for entry in entries:
+            assert store.pop(entry.key) is entry
+
+    def test_callback_raising_after_some_verdicts_mutates_nothing(self):
+        cache = ResultCache(capacity=4)
+        first = CacheEntry("fp", np.array([1.0, 1.0]), 2, "m", (), object())
+        second = CacheEntry("fp", np.array([2.0, 1.0]), 2, "m", (), object())
+        cache.put(first)
+        cache.put(second)
+
+        def boom_on_second(entry):
+            if entry is second:
+                raise RuntimeError("late boom")
+            return True  # first would be dropped — but must not be
+
+        with pytest.raises(RuntimeError, match="late boom"):
+            cache.apply_update("fp2", boom_on_second)
+        assert cache.get(first.key) is first.result
+        assert cache.get(second.key) is second.result
+
+
+class TestCapacityEdges:
+    def test_negative_capacity_is_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+        with pytest.raises(ValueError):
+            PartialStore(capacity=-1)
+
+    def test_result_cache_capacity_zero_disables_caching(self):
+        cache = ResultCache(capacity=0)
+        entry = CacheEntry("fp", np.array([1.0, 1.0]), 2, "m", (), object())
+        cache.put(entry)
+        assert len(cache) == 0
+        assert cache.get(entry.key) is None
+        assert cache.insertions == 1 and cache.evictions == 1
+
+    def test_result_cache_capacity_one_is_a_true_lru_slot(self):
+        cache = ResultCache(capacity=1)
+        first = CacheEntry("fp", np.array([1.0, 1.0]), 2, "m", (), object())
+        second = CacheEntry("fp", np.array([2.0, 1.0]), 2, "m", (), object())
+        cache.put(first)
+        assert cache.get(first.key) is first.result  # hit refreshes the slot
+        cache.put(second)  # replaces it
+        assert cache.get(first.key) is None
+        assert cache.get(second.key) is second.result
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        first = CacheEntry("fp", np.array([1.0, 1.0]), 2, "m", (), object())
+        second = CacheEntry("fp", np.array([2.0, 1.0]), 2, "m", (), object())
+        third = CacheEntry("fp", np.array([3.0, 1.0]), 2, "m", (), object())
+        cache.put(first)
+        cache.put(second)
+        assert cache.get(first.key) is first.result  # now "second" is LRU
+        cache.put(third)
+        assert cache.get(second.key) is None
+        assert cache.get(first.key) is first.result
+
+    def test_partial_store_capacity_zero_closes_immediately(self):
+        store = PartialStore(capacity=0)
+        entry = _partial("a")
+        store.put(entry)
+        assert len(store) == 0
+        assert entry.query.closed
+        assert store.saves == 1 and store.evictions == 1
+
+    def test_partial_store_capacity_one_closes_the_displaced_checkpoint(self):
+        store = PartialStore(capacity=1)
+        first, second = _partial("a"), _partial("bb")
+        store.put(first)
+        store.put(second)
+        assert first.query.closed and not second.query.closed
+        assert store.pop(second.key) is second

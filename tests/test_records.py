@@ -168,3 +168,40 @@ class TestIdentityAndAppend:
             dataset.with_appended([1.0, 2.0, 3.0])  # wrong dimensionality
         with pytest.raises(InvalidDatasetError):
             dataset.with_appended([9.0, 9.0], record_id=1)  # id in use
+
+
+class TestIdHighWatermark:
+    def test_watermark_survives_deleting_the_max_id(self):
+        # The id-reuse bug this guards against: delete the record holding the
+        # largest id, insert a new record, and the dead id must NOT come back
+        # (a resurrected id would alias cached answers about the old record).
+        dataset = Dataset([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]], ids=[0, 1, 2])
+        shrunk = dataset.without_ids([2])
+        assert shrunk.id_high_watermark == 3
+        assert shrunk.next_record_id() == 3
+        regrown = shrunk.with_appended([7.0, 8.0])
+        assert list(regrown.ids) == [0, 1, 3]
+
+    def test_watermark_is_inherited_by_subset_and_raised_by_append(self):
+        dataset = Dataset([[1.0, 2.0], [3.0, 4.0]], ids=[4, 9])
+        assert dataset.id_high_watermark == 10
+        assert dataset.subset([0]).id_high_watermark == 10
+        # An explicit high id pushes the watermark past it.
+        grown = dataset.with_appended([5.0, 6.0], record_id=20)
+        assert grown.id_high_watermark == 21
+        assert grown.next_record_id() == 21
+
+    def test_explicit_watermark_round_trips_and_validates(self):
+        raised = Dataset([[1.0, 2.0]], ids=[3], id_high_watermark=100)
+        assert raised.id_high_watermark == 100
+        assert raised.next_record_id() == 100
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0, 2.0]], ids=[3], id_high_watermark=3)  # not above max id
+
+    def test_watermark_is_identity_metadata_not_content(self):
+        # Two datasets with identical rows and ids but different watermarks
+        # are the same *content* (fingerprint) with different identity state.
+        base = Dataset([[1.0, 2.0]], ids=[0])
+        raised = Dataset([[1.0, 2.0]], ids=[0], id_high_watermark=50)
+        assert base.fingerprint() == raised.fingerprint()
+        assert base.next_record_id() != raised.next_record_id()

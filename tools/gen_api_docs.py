@@ -65,6 +65,10 @@ PAGES: dict[str, tuple[str, list[str]]] = {
         ],
     ),
     "stream": ("repro.stream — anytime queries", ["repro.stream.anytime"]),
+    "snapshot": (
+        "repro.snapshot — persistent versioned snapshots",
+        ["repro.snapshot.store", "repro.snapshot.persist"],
+    ),
     "serve": (
         "repro.serve — asyncio serving tier",
         [
