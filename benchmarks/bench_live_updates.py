@@ -1,0 +1,241 @@
+"""Live standing-query benchmark: incremental repair vs recompute-per-update.
+
+One dataset, a fleet of standing kSPR queries, one mixed insert/delete
+stream.  The **live** path registers the queries once
+(:meth:`repro.engine.Engine.subscribe`) and lands the stream in coalesced
+atomic batches (:meth:`~repro.engine.Engine.apply_updates`): every batch
+is classified against each query's frozen frontier with the rules-1–4
+damage localisation, provably-unaffected answers are carried forward
+verbatim, and only damaged queries re-tick.  The **baseline** replays the
+identical ops one at a time and recomputes every query cold
+(``use_cache=False``) after each update — the maintenance strategy a
+stack without the live tier is forced into.  Because the baseline's
+per-update cost is constant (one atomic apply plus a fixed fleet of cold
+recomputes on a near-constant-size dataset), it is *measured* on a sample
+of the stream's updates and extrapolated to the full stream — otherwise
+the benchmark would spend tens of minutes proving what two samples
+already establish.  Every op is still applied for real so the final
+states agree.
+
+Both paths end on the same dataset state (fingerprints must agree) and
+the maintained answers must be **byte-identical** to a cold recompute on
+the final state — the benchmark doubles as a correctness check, so a
+fast-but-wrong repair path cannot pass.
+
+The acceptance bar is a **>= 5x** live-over-baseline speedup at the full
+configuration (10k records, d=4, k=3, mixed stream): incremental repair
+must decisively beat recompute-per-update, or the standing tier is not
+paying for its classification overhead.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_live_updates.py``),
+with ``--tiny`` for a seconds-long smoke configuration (used by CI), or
+through pytest (``python -m pytest benchmarks/bench_live_updates.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import independent_dataset
+from repro.engine import Engine
+from repro.live import UpdateOp
+from repro.parallel import assert_results_identical
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+CARDINALITY = 10_000
+DIMENSIONALITY = 4
+QUERIES = 3
+BATCHES = 4
+BATCH_SIZE = 6
+K = 3
+SEED = 701
+METHOD = "op_cta"
+
+#: Updates at which the baseline's recompute fleet is actually timed; the
+#: per-update cost is extrapolated to the rest of the stream.
+BASELINE_SAMPLES = 2
+
+#: Incremental repair must beat recompute-per-update by this factor.
+REQUIRED_SPEEDUP = 5.0
+
+
+def _focals(dataset, count: int):
+    """Distinct near-skyline focals (hot spots with non-trivial answers)."""
+    order = dataset.values.sum(axis=1).argsort()[::-1]
+    return [dataset.values[int(row)] * 0.98 for row in order[:count]]
+
+
+def _seeded_batch(engine: Engine, rng, size: int, k: int) -> list[UpdateOp]:
+    """One mixed batch: jittered inserts plus deletes of distinct live ids."""
+    live = engine.dataset
+    live_ids = [int(record_id) for record_id in live.ids]
+    d = live.dimensionality
+    ops: list[UpdateOp] = []
+    deleted: set[int] = set()
+    for _ in range(size):
+        can_delete = len(live_ids) - len(deleted) > k + 3
+        if can_delete and rng.random() < 0.4:
+            candidates = [rid for rid in live_ids if rid not in deleted]
+            victim = int(rng.choice(candidates))
+            deleted.add(victim)
+            ops.append(UpdateOp.delete(victim))
+        else:
+            base = live.values[int(rng.integers(live.cardinality))]
+            ops.append(UpdateOp.insert(base * (1.0 + 0.2 * (rng.random(d) - 0.5))))
+    return ops
+
+
+def run_comparison(
+    *,
+    cardinality: int = CARDINALITY,
+    dimensionality: int = DIMENSIONALITY,
+    queries: int = QUERIES,
+    batches: int = BATCHES,
+    batch_size: int = BATCH_SIZE,
+    k: int = K,
+    seed: int = SEED,
+) -> dict:
+    """Run the live-vs-recompute cycle once and return the payload."""
+    dataset = independent_dataset(cardinality, dimensionality, seed=seed)
+    focals = _focals(dataset, queries)
+    rng = np.random.default_rng(seed + 1)
+
+    # Live path: standing queries maintained under coalesced batches.
+    live_engine = Engine(dataset, k_max=k)
+    standing = [live_engine.subscribe(focal, k, METHOD) for focal in focals]
+    recorded: list[list[UpdateOp]] = []
+    live_seconds = 0.0
+    for round_index in range(batches):
+        ops = _seeded_batch(live_engine, rng, batch_size, k)
+        if round_index == batches // 2:
+            # One insert that dominates the hottest focal: at least one
+            # repair is guaranteed, so the repair path is always measured.
+            ops.append(UpdateOp.insert(focals[0] * 1.05))
+        recorded.append(ops)
+        started = time.perf_counter()
+        live_engine.apply_updates(ops)
+        live_seconds += time.perf_counter() - started
+
+    repairs = sum(query.repairs for query in standing)
+    carried = sum(query.carried_forward for query in standing)
+    updates = sum(len(ops) for ops in recorded)
+
+    # Baseline: the identical ops, one at a time, every query recomputed
+    # cold after each update (no cache, no classification).  The fleet
+    # recompute is timed at BASELINE_SAMPLES evenly-spread updates and the
+    # constant per-update cost is extrapolated to the whole stream.
+    baseline_engine = Engine(dataset, k_max=k)
+    sample_count = min(BASELINE_SAMPLES, updates)
+    sampled_at = {
+        round(index * (updates - 1) / max(sample_count - 1, 1))
+        for index in range(sample_count)
+    }
+    sampled_seconds = 0.0
+    update_index = 0
+    for ops in recorded:
+        for op in ops:
+            started = time.perf_counter()
+            baseline_engine.apply_updates([op])
+            if update_index in sampled_at:
+                for focal in focals:
+                    baseline_engine.query(focal, k, method=METHOD, use_cache=False)
+                sampled_seconds += time.perf_counter() - started
+            update_index += 1
+    baseline_seconds = sampled_seconds / len(sampled_at) * updates
+
+    # Correctness gate: same final state, byte-identical maintained answers
+    # (cold recomputes on the final state, outside the timed region).
+    assert live_engine.fingerprint == baseline_engine.fingerprint
+    for query, focal in zip(standing, focals):
+        cold = baseline_engine.query(focal, k, method=METHOD, use_cache=False)
+        assert_results_identical(query.result(), cold)
+
+    speedup = baseline_seconds / live_seconds if live_seconds > 0 else float("inf")
+    return {
+        "benchmark": "live_updates",
+        "cardinality": cardinality,
+        "dimensionality": dimensionality,
+        "queries": queries,
+        "batches": batches,
+        "updates": updates,
+        "k": k,
+        "method": METHOD,
+        "identical_results": True,  # the assertions above would have raised
+        "live_seconds": live_seconds,
+        "baseline_sampled_updates": len(sampled_at),
+        "baseline_seconds": baseline_seconds,
+        "live_speedup": speedup,
+        "repairs": repairs,
+        "carried_forward": carried,
+    }
+
+
+def emit(payload: dict) -> Path:
+    """Archive the timings JSON next to the other benchmark artefacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / "live_updates.json"
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target
+
+
+def _tiny_kwargs() -> dict:
+    """A seconds-long smoke configuration (correctness, not speed)."""
+    return {
+        "cardinality": 600,
+        "dimensionality": 3,
+        "queries": 3,
+        "batches": 3,
+        "batch_size": 3,
+    }
+
+
+def test_live_updates_speedup() -> None:
+    """Incremental repair must beat recompute-per-update >= 5x."""
+    payload = run_comparison()
+    emit(payload)
+    assert payload["live_speedup"] >= REQUIRED_SPEEDUP, (
+        f"live speedup {payload['live_speedup']:.2f}x is below the required "
+        f"{REQUIRED_SPEEDUP:.1f}x (live {payload['live_seconds']:.3f}s, "
+        f"baseline {payload['baseline_seconds']:.3f}s)"
+    )
+    assert payload["repairs"] > 0 and payload["carried_forward"] > 0
+
+
+def test_live_updates_tiny() -> None:
+    """Smoke: the maintained answers stay byte-identical to cold recomputes."""
+    payload = run_comparison(**_tiny_kwargs())
+    assert payload["identical_results"]
+    assert payload["repairs"] > 0 and payload["carried_forward"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true", help="seconds-long smoke run")
+    arguments = parser.parse_args(argv)
+
+    payload = run_comparison(**(_tiny_kwargs() if arguments.tiny else {}))
+    target = emit(payload)
+    print(json.dumps(payload, indent=2))
+    print(
+        f"\nbaseline {payload['baseline_seconds']:.3f}s -> live "
+        f"{payload['live_seconds']:.3f}s ({payload['live_speedup']:.2f}x); "
+        f"{payload['repairs']} repairs, {payload['carried_forward']} carried "
+        f"forward across {payload['updates']} updates; JSON written to {target}"
+    )
+    if arguments.tiny:
+        print("tiny smoke mode: speedup bar not enforced")
+        return 0
+    if payload["live_speedup"] < REQUIRED_SPEEDUP:
+        print(f"FAIL: live speedup below {REQUIRED_SPEEDUP:.1f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

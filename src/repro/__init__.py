@@ -41,7 +41,11 @@ Monte Carlo sampling with Hoeffding / Clopper–Pearson confidence intervals
 at a requested ``(epsilon, delta)`` — the mode that opens dataset sizes the
 exact arrangement cannot reach.  :class:`SnapshotStore` (with
 ``Engine.commit`` / ``Engine.from_snapshot``) persists immutable, versioned
-dataset snapshots whose caches survive a process restart.  Baselines,
+dataset snapshots whose caches survive a process restart.
+:mod:`repro.live` (``Engine.subscribe`` / ``Engine.apply_updates``) keeps
+*standing* queries maintained under insert/delete streams: every update is
+classified by the engine's damage-localisation rules and only affected
+answers are repaired — byte-identically to a cold recompute.  Baselines,
 workload generators,
 market-impact analysis and the full experiment harness live in the
 :mod:`repro.baselines`, :mod:`repro.data`, :mod:`repro.analysis` and
@@ -65,6 +69,14 @@ from .core import (
 )
 from .approx import ApproxKSPRResult, ApproxSpec, cross_check_stream, sample_kspr
 from .engine import Engine, QueryBatch, Workload, generate_workload, replay
+from .live import (
+    AppliedBatch,
+    DeltaEvent,
+    LiveSession,
+    StandingQuery,
+    UpdateBatch,
+    UpdateOp,
+)
 from .obs import (
     MetricsRegistry,
     NULL_TRACER,
@@ -107,6 +119,12 @@ __all__ = [
     "replay",
     "ShardedExecutor",
     "parallel_cta",
+    "LiveSession",
+    "StandingQuery",
+    "UpdateBatch",
+    "UpdateOp",
+    "AppliedBatch",
+    "DeltaEvent",
     "SnapshotStore",
     "SnapshotMeta",
     "SnapshotDiff",

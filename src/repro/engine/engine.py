@@ -92,6 +92,9 @@ from ..robust import Tolerance, resolve_tolerance
 from .cache import CacheEntry, PartialEntry, PartialStore, ResultCache, options_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..live.session import LiveSession
+    from ..live.standing import StandingQuery
+    from ..live.updates import AppliedBatch, UpdateBatch, UpdateOp
     from ..snapshot.store import SnapshotStore
 
 __all__ = ["Engine", "EngineStats"]
@@ -267,6 +270,10 @@ class Engine:
         # The last snapshot id this engine committed or was restored from;
         # the default parent link of the next :meth:`commit`.
         self._committed_parent: str | None = None
+        # Standing-query tier: created lazily by :attr:`live` / :meth:`subscribe`;
+        # ``_update_seq`` numbers applied update events (single or batch).
+        self._live: "LiveSession | None" = None
+        self._update_seq = 0
         self._lock = threading.RLock()
         self.stats = EngineStats()
         self.stats.prepare_seconds += time.perf_counter() - prepare_start
@@ -1380,9 +1387,11 @@ class Engine:
             self._next_id = max(self._next_id, record_id + 1)
             self._shared_tree.rebind_dataset(self._backing_view())
             self._shared_tree.insert_position(delta.position)
-            self._finish_update(delta, inserted=True)
+            pairs = ((delta, True),)
+            self._finish_update_batch(pairs)
             self.stats.inserts += 1
-            return record_id
+        self._notify_live(pairs)
+        return record_id
 
     def delete(self, record_id: int) -> None:
         """Remove one record, patching indexes and invalidating affected caches."""
@@ -1391,29 +1400,224 @@ class Engine:
                 raise InvalidDatasetError("cannot delete the last remaining record")
             delta = self._skyband.delete(record_id)
             self._shared_tree.delete_position(delta.position)
-            self._finish_update(delta, inserted=False)
+            pairs = ((delta, False),)
+            self._finish_update_batch(pairs)
             self.stats.deletes += 1
+        self._notify_live(pairs)
+
+    def apply_updates(self, updates: "UpdateBatch | Sequence[UpdateOp]") -> "AppliedBatch":
+        """Apply a batch of inserts/deletes as one atomic snapshot swap.
+
+        The whole batch is validated up front (id discipline, dimensions,
+        finiteness, never emptying the dataset), then applied under a
+        single lock acquisition with exactly one snapshot swap at the end
+        — intermediate states never exist as fingerprints, so a
+        concurrent reader sees either the pre-batch or the post-batch
+        dataset.  Cache reconciliation unions the per-update rules-1–4
+        verdicts, each evaluated against its own sequential-point-in-time
+        skyband delta, which makes the batched invalidation equivalent to
+        applying the updates one at a time.  Standing queries
+        (:meth:`subscribe`) are classified and repaired before this
+        returns; the returned :class:`~repro.live.AppliedBatch` carries
+        the assigned record ids and both fingerprints.
+        """
+        from ..live.updates import AppliedBatch, UpdateBatch, UpdateOp  # local: engine <-> live
+
+        batch = UpdateBatch.coerce(updates)
+        with self._lock:
+            base_fingerprint = self._snapshot.fingerprint()
+            if not len(batch):
+                return AppliedBatch(
+                    ops=(), pairs=(), base_fingerprint=base_fingerprint,
+                    fingerprint=base_fingerprint, seq=self._update_seq,
+                )
+            self._validate_batch(batch)
+            pairs: list[tuple[SkybandDelta, bool]] = []
+            assigned: list[UpdateOp] = []
+            for op in batch.ops:
+                if op.op == "insert":
+                    rid = self._next_id if op.record_id is None else int(op.record_id)
+                    delta = self._skyband.insert(np.asarray(op.values, dtype=float), rid)
+                    self._used_ids.add(rid)
+                    self._next_id = max(self._next_id, rid + 1)
+                    self._shared_tree.rebind_dataset(self._backing_view())
+                    self._shared_tree.insert_position(delta.position)
+                    pairs.append((delta, True))
+                    self.stats.inserts += 1
+                    assigned.append(UpdateOp(op="insert", record_id=rid, values=delta.values))
+                else:
+                    delta = self._skyband.delete(int(op.record_id))
+                    self._shared_tree.delete_position(delta.position)
+                    pairs.append((delta, False))
+                    self.stats.deletes += 1
+                    assigned.append(op)
+            frozen = tuple(pairs)
+            self._finish_update_batch(frozen)
+            applied = AppliedBatch(
+                ops=tuple(assigned),
+                pairs=frozen,
+                base_fingerprint=base_fingerprint,
+                fingerprint=self._snapshot.fingerprint(),
+                seq=self._update_seq,
+            )
+        self._notify_live(frozen)
+        return applied
+
+    def _validate_batch(self, batch: "UpdateBatch") -> None:
+        """Reject the whole batch before any mutation (atomicity guard).
+
+        Simulates the id/liveness bookkeeping op by op so mid-batch
+        failures are impossible once application starts: explicit insert
+        ids must be fresh (never used, not below a restored floor, not
+        claimed twice within the batch), values must match the
+        dimensionality and be finite, deletes must target a
+        then-live id, and the live count must never reach zero.
+        """
+        sim_used = set(self._used_ids)
+        sim_live = {
+            int(rid) for rid in self._skyband.ids_at(self._skyband.active_positions())
+        }
+        sim_next = self._next_id
+        dimensionality = self._snapshot.dimensionality
+        for op in batch.ops:
+            if op.op == "insert":
+                row = np.asarray(op.values, dtype=float)
+                if row.shape != (dimensionality,):
+                    raise InvalidDatasetError(
+                        f"insert has shape {row.shape}, expected ({dimensionality},)"
+                    )
+                if not np.all(np.isfinite(row)):
+                    raise InvalidDatasetError("insert values must be finite")
+                rid = sim_next if op.record_id is None else int(op.record_id)
+                if rid in sim_used:
+                    raise InvalidDatasetError(
+                        f"record id {rid} was already used; ids are never recycled"
+                    )
+                if self._id_floor and rid < self._id_floor:
+                    raise InvalidDatasetError(
+                        f"record id {rid} is below this restored engine's id "
+                        f"floor ({self._id_floor}); ids are never recycled"
+                    )
+                sim_used.add(rid)
+                sim_live.add(rid)
+                sim_next = max(sim_next, rid + 1)
+            else:
+                rid = int(op.record_id)
+                if rid not in sim_live:
+                    raise InvalidDatasetError(
+                        f"cannot delete record id {rid}: not live at that point in the batch"
+                    )
+                sim_live.remove(rid)
+                if not sim_live:
+                    raise InvalidDatasetError("cannot delete the last remaining record")
+
+    # ------------------------------------------------------------------ #
+    # standing queries (repro.live)
+    # ------------------------------------------------------------------ #
+    @property
+    def live(self) -> "LiveSession":
+        """The engine's standing-query session (created lazily)."""
+        from ..live.session import LiveSession  # local import: engine <-> live
+
+        with self._lock:
+            if self._live is None:
+                self._live = LiveSession(self)
+            return self._live
+
+    def subscribe(
+        self,
+        focal: np.ndarray | Sequence[float],
+        k: int,
+        method: str | None = None,
+        *,
+        anytime: bool = False,
+        **options,
+    ) -> "StandingQuery":
+        """Register a standing query, maintained under updates.
+
+        Computes the initial answer while holding the engine lock, so
+        registration is atomic with respect to updates: every update
+        after this call is classified against the returned query, and
+        none before it is missed.  Identical registrations share one
+        :class:`~repro.live.StandingQuery`.  ``anytime=True`` maintains a
+        monotone ``[lower, upper]`` impact bracket through the resumable
+        stream path instead of an exact answer.
+        """
+        from ..live.session import LiveSession  # local import: engine <-> live
+
+        with self._lock:
+            if self._live is None:
+                self._live = LiveSession(self)
+            return self._live._subscribe_locked(focal, k, method, anytime, dict(options))
+
+    def update_affects(
+        self,
+        focal: np.ndarray | Sequence[float],
+        k: int,
+        pairs: "Sequence[tuple[SkybandDelta, bool]]",
+        *,
+        pruned: bool | None = None,
+    ) -> bool:
+        """Rules-1–4 verdict: could any update in ``pairs`` change ``(focal, k)``?
+
+        ``pairs`` is the ``(delta, inserted)`` evidence of an applied
+        batch (:attr:`~repro.live.AppliedBatch.pairs`).  ``False`` is a
+        proof that the answer — and any paused-stream bracket — is
+        unchanged; ``True`` is conservative.  ``pruned`` defaults to
+        whether this engine would have served the query from its
+        k-skyband slice (the cache entries' own flag).
+        """
+        focal_array = np.asarray(focal, dtype=float)
+        with self._lock:
+            if pruned is None:
+                pruned = self._prune and int(k) <= self.k_max
+            return any(
+                self._is_affected(focal_array, int(k), bool(pruned), delta, inserted)
+                for delta, inserted in pairs
+            )
+
+    def _notify_live(self, pairs: "tuple[tuple[SkybandDelta, bool], ...]") -> None:
+        """Fan an applied batch out to the standing queries, outside the lock.
+
+        Called after the engine lock is released so repairs (which run
+        full queries) never serialize unrelated engine traffic.
+        """
+        live = self._live
+        if live is not None and pairs:
+            live._on_update(pairs)
 
     def _backing_view(self) -> _BackingView:
         """Row-store view (tombstones included) backing the shared R-tree."""
         values, ids = self._skyband.backing_arrays()
         return _BackingView(values, ids)
 
-    def _finish_update(self, delta: SkybandDelta, inserted: bool) -> None:
-        """Refresh the snapshot and reconcile both caches after an update."""
+    def _finish_update_batch(
+        self, pairs: "tuple[tuple[SkybandDelta, bool], ...]"
+    ) -> None:
+        """Refresh the snapshot once and reconcile both caches after a batch.
+
+        The invalidation predicate is the union of the per-update rules
+        1–4 verdicts; each delta carries its sequential point-in-time
+        evidence (values, post-update counts, boundary crossers), so the
+        union invalidates exactly what applying the updates one at a time
+        would — the coalesced-equals-sequential property the live tier's
+        differential suite enforces.
+        """
         # Stamp the engine's monotone id allocator onto the snapshot: after a
         # delete of the max-id record the surviving ids alone would re-derive
         # a lower watermark, and a persisted snapshot restored from it could
         # resurrect the dead id.
         self._snapshot = self._skyband.snapshot(self._name, id_high_watermark=self._next_id)
         new_fingerprint = self._snapshot.fingerprint()
+        self._update_seq += 1
 
-        retained, dropped = self._result_cache.apply_update(
-            new_fingerprint,
-            lambda entry: self._is_affected(
-                entry.focal, entry.k, entry.pruned, delta, inserted
-            ),
-        )
+        def damaged(entry) -> bool:
+            return any(
+                self._is_affected(entry.focal, entry.k, entry.pruned, delta, inserted)
+                for delta, inserted in pairs
+            )
+
+        retained, dropped = self._result_cache.apply_update(new_fingerprint, damaged)
         self.stats.entries_invalidated += dropped
         self.stats.entries_retained += retained
 
@@ -1422,19 +1626,10 @@ class Engine:
         # competitor input either, so the suspended computation stays exactly
         # the one a cold re-run would perform and the checkpoint is re-keyed;
         # affected checkpoints are closed and dropped.
-        _, partials_dropped = self._partials.apply_update(
-            new_fingerprint,
-            lambda entry: self._is_affected(
-                entry.focal, entry.k, entry.pruned, delta, inserted
-            ),
-        )
+        _, partials_dropped = self._partials.apply_update(new_fingerprint, damaged)
         self.stats.partials_invalidated += partials_dropped
 
-        stale = [
-            pkey
-            for pkey, entry in self._prepared.items()
-            if self._is_affected(entry.focal, entry.k, entry.pruned, delta, inserted)
-        ]
+        stale = [pkey for pkey, entry in self._prepared.items() if damaged(entry)]
         for pkey in stale:
             evicted = self._prepared.pop(pkey)
             self._drop_hyperplanes_if_unused(evicted)
@@ -1465,8 +1660,15 @@ class Engine:
         crossing = delta.changed_counts == threshold
         if not np.any(crossing):
             return False
-        crossing_ids = delta.changed_ids[crossing]
-        positions = [self._skyband.position_of(int(rid)) for rid in crossing_ids]
+        positions = []
+        for rid in delta.changed_ids[crossing]:
+            if int(rid) not in self._skyband:
+                # A boundary crosser that is no longer live — deleted later
+                # in the same batch, so its side of the crossing cannot be
+                # re-examined here.  Invalidate conservatively: never wrong,
+                # at worst one spare recompute.
+                return True
+            positions.append(self._skyband.position_of(int(rid)))
         rows = self._skyband.values_at(np.asarray(positions, dtype=int))
         # A crosser matters only if it is itself a competitor of this focal.
         return bool(np.any(~np.all(rows <= focal[None, :], axis=1)))

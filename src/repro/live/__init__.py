@@ -1,0 +1,31 @@
+"""Standing kSPR queries incrementally repaired under update streams.
+
+The continuous-query tier of the reproduction: register a query once
+(:class:`StandingQuery`, exact or anytime-bracketed), stream inserts and
+deletes at the engine (:class:`UpdateBatch` applied as one atomic
+snapshot swap), and the answer is *maintained* — every update is
+classified against the query's frozen frontier with the engine's
+rules-1–4 damage localisation, provably-unaffected answers are carried
+forward verbatim, and only damaged queries are re-ticked, byte-identical
+to a from-scratch recompute.  :class:`LiveSession` drives the fleet:
+coalescing bursts, monotone result versions, gap-free event replay for
+reconnecting subscribers, ``live.*`` metrics, and snapshot-store re-arm
+after a restart.
+
+Entry points: :meth:`repro.engine.Engine.subscribe` /
+:meth:`repro.engine.Engine.apply_updates`, or the session facade on
+:attr:`repro.engine.Engine.live`.
+"""
+
+from .standing import DeltaEvent, StandingQuery
+from .session import LiveSession
+from .updates import AppliedBatch, UpdateBatch, UpdateOp
+
+__all__ = [
+    "AppliedBatch",
+    "DeltaEvent",
+    "LiveSession",
+    "StandingQuery",
+    "UpdateBatch",
+    "UpdateOp",
+]

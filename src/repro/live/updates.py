@@ -1,0 +1,132 @@
+"""Update primitives for the standing-query tier.
+
+An :class:`UpdateOp` describes one insert or delete; an
+:class:`UpdateBatch` collects several of them for a single atomic
+application (:meth:`repro.engine.Engine.apply_updates` patches the
+indexes for the whole batch under one lock acquisition and swaps the
+dataset snapshot exactly once, so intermediate states never exist as
+fingerprints).  The engine reports what happened as an
+:class:`AppliedBatch`: the ops with their assigned record ids, the
+per-update skyband deltas (the rules-1–4 classification input), and the
+fingerprints on both sides of the swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # import cycle: engine <-> live
+    from ..index.skyline import SkybandDelta
+
+__all__ = ["UpdateOp", "UpdateBatch", "AppliedBatch"]
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One insert or delete, not yet applied.
+
+    ``op`` is ``"insert"`` or ``"delete"``.  Inserts carry ``values`` and
+    an optional explicit ``record_id`` (auto-assigned from the engine's
+    monotone allocator when ``None``); deletes carry only ``record_id``.
+    """
+
+    op: str
+    record_id: int | None = None
+    values: np.ndarray | None = None
+
+    @classmethod
+    def insert(
+        cls, values: np.ndarray | Sequence[float], record_id: int | None = None
+    ) -> "UpdateOp":
+        """An insert op; ``record_id=None`` lets the engine assign the id."""
+        row = np.asarray(values, dtype=float)
+        return cls(op="insert", record_id=None if record_id is None else int(record_id), values=row)
+
+    @classmethod
+    def delete(cls, record_id: int) -> "UpdateOp":
+        """A delete op for one live record id."""
+        return cls(op="delete", record_id=int(record_id))
+
+    def __post_init__(self) -> None:
+        if self.op not in ("insert", "delete"):
+            raise ValueError(f"unknown update op {self.op!r}; expected 'insert' or 'delete'")
+        if self.op == "insert" and self.values is None:
+            raise ValueError("insert ops need values")
+        if self.op == "delete" and self.record_id is None:
+            raise ValueError("delete ops need a record id")
+
+
+class UpdateBatch:
+    """A mutable builder for one atomic batch of inserts and deletes.
+
+    Order matters: ops apply sequentially within the batch (an id
+    inserted earlier in the batch may be deleted later in it), but the
+    whole batch lands as one snapshot swap.
+    """
+
+    def __init__(self, ops: Iterable[UpdateOp] = ()) -> None:
+        self._ops: list[UpdateOp] = list(ops)
+
+    def insert(
+        self, values: np.ndarray | Sequence[float], record_id: int | None = None
+    ) -> "UpdateBatch":
+        """Append an insert; returns ``self`` for chaining."""
+        self._ops.append(UpdateOp.insert(values, record_id))
+        return self
+
+    def delete(self, record_id: int) -> "UpdateBatch":
+        """Append a delete; returns ``self`` for chaining."""
+        self._ops.append(UpdateOp.delete(record_id))
+        return self
+
+    @property
+    def ops(self) -> tuple[UpdateOp, ...]:
+        """The batch contents, in application order."""
+        return tuple(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @classmethod
+    def coerce(cls, updates: "UpdateBatch | Iterable[UpdateOp]") -> "UpdateBatch":
+        """Accept a batch or any iterable of :class:`UpdateOp`."""
+        if isinstance(updates, cls):
+            return updates
+        ops = list(updates)
+        for op in ops:
+            if not isinstance(op, UpdateOp):
+                raise TypeError(f"expected UpdateOp, got {type(op).__name__}")
+        return cls(ops)
+
+
+@dataclass(frozen=True)
+class AppliedBatch:
+    """The outcome of one atomic batch application.
+
+    ``pairs`` holds the per-update ``(SkybandDelta, inserted)`` evidence
+    in application order — each delta captured at its sequential
+    point-in-time, which is what makes the batched rules-1–4
+    classification equivalent to classifying the updates one by one.
+    """
+
+    ops: tuple[UpdateOp, ...]
+    pairs: tuple["tuple[SkybandDelta, bool]", ...] = field(repr=False)
+    base_fingerprint: str = ""
+    fingerprint: str = ""
+    seq: int = 0
+
+    @property
+    def inserts(self) -> int:
+        """Number of insert ops in the batch."""
+        return sum(1 for op in self.ops if op.op == "insert")
+
+    @property
+    def deletes(self) -> int:
+        """Number of delete ops in the batch."""
+        return sum(1 for op in self.ops if op.op == "delete")
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -38,6 +38,10 @@ __all__ = [
     "SERVE_CONNECTION_RESETS",
     "SERVE_ACTIVE",
     "SERVE_REJECTED_PREFIX",
+    "SERVE_SUBSCRIPTIONS_TOTAL",
+    "SERVE_SUBSCRIPTION_DELTAS",
+    "SERVE_SUBSCRIPTION_RESUMES",
+    "SERVE_UPDATES_TOTAL",
     # query.* constants referenced directly
     "LP_CONSTRAINTS",
     "QUERY_REGIONS",
@@ -50,6 +54,7 @@ __all__ = [
     "QUERY_METRIC_NAMES",
     "SERVE_METRIC_NAMES",
     "SNAPSHOT_METRIC_NAMES",
+    "LIVE_METRIC_NAMES",
     "DYNAMIC_METRIC_PREFIXES",
     "ALL_METRIC_NAMES",
 ]
@@ -86,6 +91,14 @@ SERVE_ACTIVE = "serve.active"
 #: Dynamic family: one counter per admission rejection reason
 #: (``serve.rejected.<reason>.total``).
 SERVE_REJECTED_PREFIX = "serve.rejected."
+#: Standing SSE subscriptions admitted (counter).
+SERVE_SUBSCRIPTIONS_TOTAL = "serve.subscriptions.total"
+#: Delta/snapshot events pushed to standing subscribers (counter).
+SERVE_SUBSCRIPTION_DELTAS = "serve.subscription.deltas.total"
+#: Reconnects that resumed gap-free from an acked version (counter).
+SERVE_SUBSCRIPTION_RESUMES = "serve.subscription.resumes.total"
+#: Update batches applied through the serving tier (counter).
+SERVE_UPDATES_TOTAL = "serve.updates.total"
 
 SERVE_METRIC_NAMES: tuple[str, ...] = (
     SERVE_TTFA_SECONDS,
@@ -101,6 +114,10 @@ SERVE_METRIC_NAMES: tuple[str, ...] = (
     SERVE_DISCONNECTS,
     SERVE_CONNECTION_RESETS,
     SERVE_ACTIVE,
+    SERVE_SUBSCRIPTIONS_TOTAL,
+    SERVE_SUBSCRIPTION_DELTAS,
+    SERVE_SUBSCRIPTION_RESUMES,
+    SERVE_UPDATES_TOTAL,
 )
 
 # --------------------------------------------------------------------------- #
@@ -195,6 +212,22 @@ SNAPSHOT_METRIC_NAMES: tuple[str, ...] = (
 )
 
 # --------------------------------------------------------------------------- #
+# live.* — standing queries under update streams (repro.live, PR 10)
+# --------------------------------------------------------------------------- #
+LIVE_METRIC_NAMES: tuple[str, ...] = (
+    "live.standing.queries",
+    "live.updates.total",
+    "live.batches.total",
+    "live.batch.updates",
+    "live.repairs.total",
+    "live.carried_forward.total",
+    "live.refines.total",
+    "live.deltas.total",
+    "live.repair.seconds",
+    "live.listener.errors.total",
+)
+
+# --------------------------------------------------------------------------- #
 # the catalogue
 # --------------------------------------------------------------------------- #
 #: Declared dynamic families: an f-string metric name is legal iff its
@@ -210,4 +243,5 @@ ALL_METRIC_NAMES: frozenset[str] = (
     | frozenset(QUERY_METRIC_NAMES)
     | frozenset(ENGINE_METRIC_NAMES)
     | frozenset(SNAPSHOT_METRIC_NAMES)
+    | frozenset(LIVE_METRIC_NAMES)
 )

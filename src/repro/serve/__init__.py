@@ -12,9 +12,10 @@ repo's query stack into a servable system:
 - :mod:`repro.serve.service` — :class:`KSPRService`, the transport-free
   core: two-phase ``answer`` (sampled estimate in milliseconds, exact
   refinement pushed later, single-flight deduplicated, cancelled
-  cooperatively when every client disconnects) and anytime ``stream``
+  cooperatively when every client disconnects), anytime ``stream``
   (deadline-propagating partial results over the engine's checkpointing
-  stream).
+  stream), and standing ``subscribe`` / ``apply_updates`` (live ``delta``
+  push from :mod:`repro.live`, resumable after disconnects).
 - :mod:`repro.serve.http` — :class:`ServeServer`, the SSE/JSON HTTP/1.1
   binding.
 - :mod:`repro.serve.client` — :class:`ServeClient`, the matching asyncio
@@ -30,12 +31,15 @@ from .http import ServeServer
 from .protocol import (
     BadRequest,
     ServeRequest,
+    applied_payload,
     approx_payload,
+    delta_payload,
     error_payload,
     exact_payload,
     format_sse,
     parse_request,
     parse_sse,
+    parse_update_batch,
     partial_payload,
     paused_payload,
 )
@@ -46,10 +50,13 @@ __all__ = [
     "BadRequest",
     "ServeRequest",
     "parse_request",
+    "parse_update_batch",
     "approx_payload",
     "exact_payload",
     "partial_payload",
     "paused_payload",
+    "delta_payload",
+    "applied_payload",
     "error_payload",
     "format_sse",
     "parse_sse",

@@ -133,6 +133,24 @@ class ServeClient:
         async for event in self._sse("/v1/stream", request):
             yield event
 
+    async def subscribe_events(self, request: dict) -> AsyncIterator[tuple[str, dict[str, Any]]]:
+        """POST /v1/subscribe: a standing subscription's SSE events.
+
+        Yields the initial ``snapshot`` (or the gap-free replay when the
+        request carries ``resume_from``) and then one ``delta`` per repair,
+        until the caller closes the iterator (modelling a disconnect).
+        """
+        async for event in self._sse("/v1/subscribe", request):
+            yield event
+
+    async def update(self, batch: dict) -> dict[str, Any]:
+        """POST /v1/update: apply one atomic insert/delete batch."""
+        status, headers, reader, writer = await self._open("POST", "/v1/update", batch)
+        try:
+            return self._check(status, await self._read_body(reader, headers))
+        finally:
+            writer.close()
+
     async def _sse(self, path: str, request: dict) -> AsyncIterator[tuple[str, dict[str, Any]]]:
         status, headers, reader, writer = await self._open("POST", path, request)
         try:

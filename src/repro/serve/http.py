@@ -17,6 +17,14 @@ Routes
     The anytime path: an SSE stream of ``partial`` events whose impact
     brackets tighten monotonically, terminated by ``exact`` (finished) or
     ``paused`` (budget truncated, checkpoint kept).
+``POST /v1/subscribe``
+    The standing-query path: an SSE stream that starts with a ``snapshot``
+    (or a gap-free replay when ``resume_from`` is given) and then carries a
+    ``delta`` event for every incremental repair, in strict ``version``
+    order, until the client disconnects.
+``POST /v1/update``
+    Apply one atomic batch of inserts/deletes; responds with a JSON
+    ``applied`` payload once every standing query has been repaired.
 ``GET /metrics``
     The service registry in Prometheus v0 text format.
 ``GET /healthz``
@@ -37,11 +45,18 @@ import json
 import logging
 from typing import Any
 
-from ..exceptions import InvalidQueryError
+from ..exceptions import InvalidDatasetError, InvalidQueryError
 from ..obs.export import registry_to_prometheus
 from ..obs.names import SERVE_CONNECTION_RESETS
 from .admission import AdmissionError
-from .protocol import BadRequest, error_payload, exact_payload, format_sse, parse_request
+from .protocol import (
+    BadRequest,
+    error_payload,
+    exact_payload,
+    format_sse,
+    parse_request,
+    parse_update_batch,
+)
 from .service import KSPRService
 
 __all__ = ["ServeServer"]
@@ -210,16 +225,25 @@ class ServeServer:
             await self._query(self._parse_body(body), reader, writer)
         elif path == "/v1/stream" and method == "POST":
             await self._stream(self._parse_body(body), reader, writer)
-        elif path in ("/healthz", "/metrics", "/v1/query", "/v1/stream"):
+        elif path == "/v1/subscribe" and method == "POST":
+            await self._subscribe(self._parse_body(body), reader, writer)
+        elif path == "/v1/update" and method == "POST":
+            await self._update(self._parse_json(body), writer)
+        elif path in (
+            "/healthz", "/metrics", "/v1/query", "/v1/stream", "/v1/subscribe", "/v1/update"
+        ):
             raise _HTTPError(405, error_payload("bad_request", f"{method} not allowed on {path}"))
         else:
             raise _HTTPError(404, error_payload("not_found", f"no route {path!r}"))
 
-    def _parse_body(self, body: bytes) -> dict:
+    def _parse_json(self, body: bytes) -> Any:
         try:
-            payload = json.loads(body.decode() or "null")
+            return json.loads(body.decode() or "null")
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise _HTTPError(400, error_payload("bad_request", f"invalid JSON body: {error}"))
+
+    def _parse_body(self, body: bytes) -> dict:
+        payload = self._parse_json(body)
         try:
             return parse_request(payload, clock=self.service.clock)
         except BadRequest as error:
@@ -320,6 +344,58 @@ class ServeServer:
             # aclose() runs the generator's finally: cooperative cancel,
             # engine checkpoint, checkout release.
             await events.aclose()
+
+    async def _subscribe(self, request, reader, writer) -> None:
+        """POST /v1/subscribe — the standing-query SSE path.
+
+        SSE headers go out with the first event (so admission rejections
+        can still answer with their proper status), and the read side is
+        watched for EOF from the start — a subscriber that disconnects
+        while fully caught up (no event in flight) is detected and its
+        checkout released without waiting for the next repair.
+        """
+        events = self.service.subscribe(request)
+        eof_watch = asyncio.ensure_future(reader.read(1))
+        started = False
+        try:
+            while not eof_watch.done():
+                nxt = asyncio.ensure_future(anext(events))
+                done, _pending = await asyncio.wait(
+                    {eof_watch, nxt}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if nxt not in done:
+                    nxt.cancel()
+                    break
+                try:
+                    name, payload = nxt.result()
+                except StopAsyncIteration:
+                    break
+                except AdmissionError as error:
+                    raise self._admission_http_error(error) from None
+                except InvalidQueryError as error:
+                    raise _HTTPError(400, error_payload("bad_request", str(error))) from None
+                if not started:
+                    await self._start_sse(writer)
+                    started = True
+                writer.write(format_sse(name, payload))
+                await writer.drain()
+        finally:
+            eof_watch.cancel()
+            # aclose() runs the generator's finally: listener detach,
+            # checkout release (the standing query stays registered).
+            await events.aclose()
+
+    async def _update(self, payload, writer) -> None:
+        """POST /v1/update — apply one atomic insert/delete batch."""
+        try:
+            ops = parse_update_batch(payload)
+        except BadRequest as error:
+            raise _HTTPError(400, error_payload("bad_request", error.message)) from None
+        try:
+            applied = await self.service.apply_updates(ops)
+        except (InvalidDatasetError, InvalidQueryError) as error:
+            raise _HTTPError(400, error_payload("bad_request", str(error))) from None
+        await self._send_json(writer, 200, applied)
 
     # ------------------------------------------------------------------ #
     # response plumbing

@@ -39,10 +39,13 @@ __all__ = [
     "BadRequest",
     "ServeRequest",
     "parse_request",
+    "parse_update_batch",
     "approx_payload",
     "exact_payload",
     "partial_payload",
     "paused_payload",
+    "delta_payload",
+    "applied_payload",
     "error_payload",
     "format_sse",
     "parse_sse",
@@ -97,6 +100,13 @@ class ServeRequest:
         Stream-mode work-unit cap per request (``None`` = run to budget).
     cost:
         Tokens this request charges against the tenant budget.
+    anytime:
+        Standing subscriptions only: maintain an anytime bracket instead
+        of an exact answer.
+    resume_from:
+        Standing subscriptions only: the last event version the client
+        acked before disconnecting; the replay resumes right after it
+        (gap-free) or falls back to a fresh ``snapshot`` event.
     """
 
     focal: np.ndarray
@@ -108,6 +118,8 @@ class ServeRequest:
     deadline_at: float | None = None
     max_batches: int | None = None
     cost: float = 1.0
+    anytime: bool = False
+    resume_from: int | None = None
 
 
 def parse_request(
@@ -194,6 +206,19 @@ def parse_request(
     if not cost > 0.0 or not np.isfinite(cost):
         raise BadRequest("'cost' must be a positive finite number")
 
+    anytime = payload.get("anytime", False)
+    if not isinstance(anytime, bool):
+        raise BadRequest("'anytime' must be a boolean")
+
+    resume_from = payload.get("resume_from")
+    if resume_from is not None:
+        try:
+            resume_from = int(resume_from)
+        except (TypeError, ValueError):
+            raise BadRequest("'resume_from' must be an integer") from None
+        if resume_from < 0:
+            raise BadRequest("'resume_from' must be a non-negative integer")
+
     return ServeRequest(
         focal=focal,
         k=k,
@@ -204,7 +229,60 @@ def parse_request(
         deadline_at=deadline_at,
         max_batches=max_batches,
         cost=cost,
+        anytime=anytime,
+        resume_from=resume_from,
     )
+
+
+def parse_update_batch(payload: dict) -> "list":
+    """Validate a decoded ``/v1/update`` body into :class:`~repro.live.UpdateOp` list.
+
+    The body carries ``inserts`` (a list of value rows, or
+    ``{"values": [...], "id": n}`` objects for explicit ids) and/or
+    ``deletes`` (a list of record ids); inserts apply before deletes, in
+    listed order.  Structural validation only — id discipline and
+    dimensionality are enforced atomically by
+    :meth:`repro.engine.Engine.apply_updates`.
+    """
+    from ..live.updates import UpdateOp
+
+    if not isinstance(payload, dict):
+        raise BadRequest("update body must be a JSON object")
+    ops: list = []
+    inserts = payload.get("inserts", [])
+    if not isinstance(inserts, list):
+        raise BadRequest("'inserts' must be a list")
+    for item in inserts:
+        record_id = None
+        values = item
+        if isinstance(item, dict):
+            if "values" not in item:
+                raise BadRequest("insert objects need a 'values' field")
+            values = item["values"]
+            record_id = item.get("id")
+        try:
+            row = np.asarray(values, dtype=float)
+        except (TypeError, ValueError) as error:
+            raise BadRequest(f"malformed insert values: {error}") from None
+        if row.ndim != 1 or row.size == 0 or not np.all(np.isfinite(row)):
+            raise BadRequest("insert values must be a non-empty flat finite array")
+        if record_id is not None:
+            try:
+                record_id = int(record_id)
+            except (TypeError, ValueError):
+                raise BadRequest("insert 'id' must be an integer") from None
+        ops.append(UpdateOp.insert(row, record_id))
+    deletes = payload.get("deletes", [])
+    if not isinstance(deletes, list):
+        raise BadRequest("'deletes' must be a list")
+    for item in deletes:
+        try:
+            ops.append(UpdateOp.delete(int(item)))
+        except (TypeError, ValueError):
+            raise BadRequest("'deletes' entries must be integers") from None
+    if not ops:
+        raise BadRequest("update body must carry at least one insert or delete")
+    return ops
 
 
 # --------------------------------------------------------------------- #
@@ -266,6 +344,35 @@ def paused_payload(snapshot: PartialKSPRResult | None, seq: int) -> dict[str, An
         "resumable": True,
         "batches": 0 if snapshot is None else snapshot.batches,
         "regions": 0 if snapshot is None else len(snapshot.regions),
+    }
+
+
+def delta_payload(event: Any, seq: int) -> dict[str, Any]:
+    """One standing-subscription event (a :class:`repro.live.DeltaEvent`).
+
+    ``version`` is the standing query's strictly-monotone answer version
+    (global across subscribers — the resume cursor); ``seq`` is the
+    zero-based event index within *this* connection (the reordering
+    detector, mirroring :func:`partial_payload`).
+    """
+    body = event.as_dict()
+    body["phase"] = "delta" if event.kind != "snapshot" else "snapshot"
+    body["seq"] = int(seq)
+    return body
+
+
+def applied_payload(applied: Any) -> dict[str, Any]:
+    """The ``/v1/update`` response body (an :class:`repro.live.AppliedBatch`)."""
+    return {
+        "phase": "applied",
+        "updates": len(applied),
+        "inserts": applied.inserts,
+        "deletes": applied.deletes,
+        "assigned_ids": [
+            op.record_id for op in applied.ops if op.op == "insert"
+        ],
+        "fingerprint": applied.fingerprint,
+        "seq": applied.seq,
     }
 
 

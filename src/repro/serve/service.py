@@ -63,11 +63,22 @@ from ..obs.names import (
     SERVE_REFINEMENTS_STARTED,
     SERVE_REJECTED_PREFIX,
     SERVE_STREAMS_TOTAL,
+    SERVE_SUBSCRIPTION_DELTAS,
+    SERVE_SUBSCRIPTION_RESUMES,
+    SERVE_SUBSCRIPTIONS_TOTAL,
     SERVE_TTFA_SECONDS,
+    SERVE_UPDATES_TOTAL,
 )
 from ..obs.trace import NULL_TRACER
 from .admission import AdmissionController, Checkout
-from .protocol import ServeRequest, exact_payload, partial_payload, paused_payload
+from .protocol import (
+    ServeRequest,
+    applied_payload,
+    delta_payload,
+    exact_payload,
+    partial_payload,
+    paused_payload,
+)
 
 __all__ = [
     "ServeConfig",
@@ -319,6 +330,18 @@ class KSPRService:
         )
         self._m_disconnects = registry.counter(
             SERVE_DISCONNECTS, "requests abandoned before their stream finished"
+        )
+        self._m_subscriptions = registry.counter(
+            SERVE_SUBSCRIPTIONS_TOTAL, "standing subscriptions opened"
+        )
+        self._m_sub_deltas = registry.counter(
+            SERVE_SUBSCRIPTION_DELTAS, "delta events delivered to subscribers"
+        )
+        self._m_sub_resumes = registry.counter(
+            SERVE_SUBSCRIPTION_RESUMES, "gap-free subscription resumes"
+        )
+        self._m_updates = registry.counter(
+            SERVE_UPDATES_TOTAL, "update batches applied through the serving tier"
         )
         self._g_active = registry.gauge(SERVE_ACTIVE, "live admitted requests")
 
@@ -581,6 +604,106 @@ class KSPRService:
         finally:
             checkout.release()
             self._g_active.set(self.admission.active)
+
+    # ------------------------------------------------------------------ #
+    # standing subscriptions & updates
+    # ------------------------------------------------------------------ #
+    async def subscribe(self, request: ServeRequest) -> AsyncIterator[tuple[str, dict[str, Any]]]:
+        """Serve ``request`` as a standing subscription: an async stream of
+        ``(event, payload)`` pairs that never ends on its own.
+
+        Registers (or joins) the engine-side :class:`~repro.live.StandingQuery`
+        for the request's canonical key, then yields its catch-up events
+        followed by every live :class:`~repro.live.DeltaEvent` the repair
+        pipeline emits — in strict ``version`` order, with a per-connection
+        ``seq``.  ``request.resume_from`` replays gap-free from the last
+        acked version when the bounded event log still covers it, and falls
+        back to a single fresh ``snapshot`` event otherwise (never a gap,
+        never a duplicate).
+
+        Closing the iterator (client disconnect) detaches the listener and
+        releases the admission checkout immediately; the standing query
+        itself stays registered so a reconnect can resume it.
+        """
+        span = self.tracer.span(
+            "serve.subscribe", tenant=request.tenant or "(anonymous)", k=int(request.k)
+        )
+        checkout = self._admit(request)
+        self._m_subscriptions.inc()
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def listener(event) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        method = request.method or self.config.refine_method
+
+        def _register():
+            # subscribe() may cold-compute the initial answer (blocking);
+            # attach() is atomic with it from this thread's point of view —
+            # the returned catch-up plus the queued live events form one
+            # gap-free version-ordered sequence.
+            standing = self.engine.subscribe(
+                request.focal, int(request.k), method, anytime=request.anytime
+            )
+            return standing, standing.attach(listener, resume_from=request.resume_from)
+
+        try:
+            standing, catch_up = await self._run_blocking(_register)
+        except BaseException:
+            checkout.release()
+            self._g_active.set(self.admission.active)
+            span.set(outcome="error")
+            span.finish()
+            raise
+        if request.resume_from is not None:
+            resumed = not catch_up or catch_up[0].version == int(request.resume_from) + 1
+            if resumed:
+                self._m_sub_resumes.inc()
+        seq = 0
+        try:
+            for event in catch_up:
+                payload = delta_payload(event, seq)
+                self._m_sub_deltas.inc()
+                seq += 1
+                yield payload["phase"], payload
+            while True:
+                event = await queue.get()
+                payload = delta_payload(event, seq)
+                self._m_sub_deltas.inc()
+                seq += 1
+                yield payload["phase"], payload
+        finally:
+            # Unlike stream teardown this never blocks (no generator frame
+            # to close): detach + release are lock-bounded and instant.
+            standing.detach(listener)
+            checkout.release()
+            self._g_active.set(self.admission.active)
+            span.set(outcome="disconnected")
+            span.note(events=seq)
+            span.finish()
+
+    async def apply_updates(self, updates) -> dict[str, Any]:
+        """Apply one update batch through the engine, off the event loop.
+
+        ``updates`` is an :class:`~repro.live.UpdateBatch` or a sequence of
+        :class:`~repro.live.UpdateOp` (e.g. from
+        :func:`~repro.serve.protocol.parse_update_batch`).  The batch is
+        atomic — every standing subscriber observes either the pre-batch or
+        the post-batch dataset, and their repairs have already run by the
+        time this returns.  Returns the ``applied`` response payload.
+        """
+        span = self.tracer.span("serve.update")
+        try:
+            applied = await self._run_blocking(self.engine.apply_updates, updates)
+        except BaseException:
+            span.set(outcome="error")
+            span.finish()
+            raise
+        self._m_updates.inc()
+        span.set(outcome="applied", updates=len(applied))
+        span.finish()
+        return applied_payload(applied)
 
     # ------------------------------------------------------------------ #
     # lifecycle

@@ -41,6 +41,8 @@ __all__ = [
     "load_result_entries",
     "dump_partial_entries",
     "load_partial_entries",
+    "dump_standing_records",
+    "load_standing_records",
 ]
 
 #: Version tag embedded in every pickled cache payload.
@@ -192,4 +194,32 @@ def load_partial_entries(path: Path, fingerprint: str) -> "list[PartialEntry]":
         if isinstance(entry, PartialEntry)
         and entry.fingerprint == fingerprint
         and isinstance(entry.query, ReplayCheckpoint)
+    ]
+
+
+#: The keys a persisted standing-query registration must carry.
+_STANDING_KEYS = {"focal", "k", "method", "anytime", "options"}
+
+
+def dump_standing_records(
+    store: "SnapshotStore", path: Path, fingerprint: str, records: list
+) -> int:
+    """Persist standing-query registrations for one snapshot; return the count.
+
+    A registration (:meth:`repro.live.StandingQuery.registration`) is
+    state-free — focal, ``k``, method, options, mode — so unlike the
+    caches it survives *any* later dataset state: re-arming replays the
+    query against whatever the restored engine holds.  The fingerprint
+    is still embedded as an integrity tag for the defensive loader.
+    """
+    _dump(store, path, fingerprint, list(records))
+    return len(records)
+
+
+def load_standing_records(path: Path, fingerprint: str) -> list:
+    """Load persisted registrations; malformed files/records degrade to none."""
+    return [
+        record
+        for record in _load(path, fingerprint)
+        if isinstance(record, dict) and _STANDING_KEYS <= set(record)
     ]

@@ -239,6 +239,9 @@ class SnapshotStore:
     def _partials_path(self, snapshot_id: str) -> Path:
         return self._cache_dir / f"{snapshot_id}.partials.pkl"
 
+    def _standing_path(self, snapshot_id: str) -> Path:
+        return self._cache_dir / f"{snapshot_id}.standing.pkl"
+
     @staticmethod
     def _write_atomic(path: Path, payload: bytes) -> None:
         """Write ``payload`` to ``path`` via tmp-file + fsync + atomic rename.
@@ -505,6 +508,38 @@ class SnapshotStore:
             self._results_path(snapshot_id).exists()
             or self._partials_path(snapshot_id).exists()
         )
+
+    def save_standing(self, snapshot_id: str, registrations: list) -> int:
+        """Persist standing-query registrations next to the snapshot's caches.
+
+        ``registrations`` come from
+        :meth:`repro.live.LiveSession.registrations`; a later
+        :meth:`load_standing` (or
+        :meth:`repro.live.LiveSession.from_snapshot`) re-arms them
+        against a restored engine.  Returns the count written.
+        """
+        from .persist import dump_standing_records
+
+        meta = self.meta(snapshot_id)
+        written = dump_standing_records(
+            self, self._standing_path(snapshot_id), meta.fingerprint, registrations
+        )
+        self.cache_saves += 1
+        return written
+
+    def load_standing(self, snapshot_id: str) -> list:
+        """Persisted standing-query registrations for one snapshot.
+
+        Missing or torn files yield an empty list — re-arming is an
+        availability feature, never a correctness requirement.
+        """
+        from .persist import load_standing_records
+
+        meta = self.meta(snapshot_id)
+        records = load_standing_records(self._standing_path(snapshot_id), meta.fingerprint)
+        if records:
+            self.cache_loads += 1
+        return records
 
     def load_result_entries(self, snapshot_id: str) -> list:
         """Persisted result-cache entries for one snapshot (LRU order).

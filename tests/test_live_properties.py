@@ -1,0 +1,245 @@
+"""Property-based suite (hypothesis) for the live standing-query tier.
+
+Four invariants of :mod:`repro.live`, checked over randomised
+``(n, d, k, seed)`` cases driven through the real engine:
+
+* **classification is precise and sound** — a standing query recomputes
+  exactly when the rules-1–4 classifier says the batch could damage it
+  (``repairs`` matches the classifier verdict batch for batch), and a
+  carried-forward answer is still byte-identical to a cold recompute on
+  the post-update dataset (the rules never carry a stale answer);
+* **versions are strictly monotone** — every listener observes a strictly
+  increasing ``version`` sequence with no duplicates, across repairs and
+  refines alike, and the retained event log is contiguous;
+* **anytime brackets never widen across a repair** — a repair of an
+  anytime standing query leaves ``upper - lower`` no wider than before
+  the update, and refines only ever tighten it further;
+* **coalesced bursts ≡ sequential application** — pushing a burst through
+  :class:`~repro.live.LiveSession` coalescing (one atomic batch) lands on
+  the same fingerprint and byte-identical standing answers as applying
+  the same ops one at a time.
+
+Plus the ``live.*`` metric-catalogue consistency check: every name the
+session's registry emits must be declared in :mod:`repro.obs.names`
+(the OBS001 linter patrols the literals; this patrols the runtime).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, UpdateOp
+from repro.data import independent_dataset
+from repro.obs.names import ALL_METRIC_NAMES, LIVE_METRIC_NAMES
+from repro.parallel.compare import assert_results_identical
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+case_strategy = st.tuples(
+    st.integers(min_value=20, max_value=48),    # n
+    st.integers(min_value=2, max_value=3),      # d
+    st.integers(min_value=1, max_value=3),      # k
+    st.integers(min_value=0, max_value=9_999),  # seed
+)
+
+
+def make_engine(n: int, d: int, seed: int):
+    """An engine over a seeded dataset plus a jittered in-dataset focal."""
+    dataset = independent_dataset(n, d, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    row = int(rng.integers(dataset.cardinality))
+    focal = dataset.values[row] * (1.0 + 0.1 * (rng.random(d) - 0.5))
+    return Engine(dataset), focal, rng
+
+
+def seeded_ops(engine: Engine, rng, count: int, k: int) -> list[UpdateOp]:
+    """A sequentially-valid seeded op list (deletes target distinct live ids)."""
+    live = engine.dataset
+    live_ids = [int(record_id) for record_id in live.ids]
+    d = live.dimensionality
+    ops: list[UpdateOp] = []
+    deleted: set[int] = set()
+    for _ in range(count):
+        can_delete = len(live_ids) - len(deleted) > k + 3
+        if can_delete and rng.random() < 0.4:
+            candidates = [rid for rid in live_ids if rid not in deleted]
+            victim = int(rng.choice(candidates))
+            deleted.add(victim)
+            ops.append(UpdateOp.delete(victim))
+        else:
+            base = live.values[int(rng.integers(live.cardinality))]
+            ops.append(UpdateOp.insert(base * (1.0 + 0.2 * (rng.random(d) - 0.5))))
+    return ops
+
+
+# --------------------------------------------------------------------- #
+# classification precision + soundness
+# --------------------------------------------------------------------- #
+@given(case_strategy)
+@SETTINGS
+def test_repairs_happen_exactly_when_the_classifier_predicts_damage(case):
+    n, d, k, seed = case
+    engine, focal, rng = make_engine(n, d, seed)
+    query = engine.subscribe(focal, k, "cta")
+
+    for op in seeded_ops(engine, rng, count=8, k=k):
+        before = query.version
+        applied = engine.apply_updates([op])
+        predicted = engine.update_affects(focal, k, applied.pairs)
+        repaired = query.version > before
+        # Precision: the query re-ticked exactly when rules 1-4 said it must.
+        assert repaired == predicted, (
+            f"classifier said affected={predicted} but repaired={repaired}"
+        )
+        # The maintained answer is always stamped for the current state...
+        assert query.fingerprint == engine.fingerprint
+        if not repaired:
+            # ...and soundness: a carried-forward answer equals a cold run.
+            cold = Engine(engine.dataset, k_max=engine.k_max)
+            assert_results_identical(query.result(), cold.query(focal, k, method="cta"))
+
+    assert query.repairs + query.carried_forward == 8
+    assert query.repairs == query.version - 1  # the snapshot is version 1
+
+
+# --------------------------------------------------------------------- #
+# strict version monotonicity
+# --------------------------------------------------------------------- #
+@given(case_strategy)
+@SETTINGS
+def test_listener_versions_are_strictly_monotone_and_log_is_contiguous(case):
+    n, d, k, seed = case
+    engine, focal, rng = make_engine(n, d, seed)
+    exact = engine.subscribe(focal, k, "cta")
+    anytime = engine.subscribe(focal, k, "cta", anytime=True)
+
+    seen = {exact.key: [], anytime.key: []}
+    catch_up = exact.attach(seen[exact.key].append)
+    catch_up_any = anytime.attach(seen[anytime.key].append)
+    assert [event.kind for event in catch_up] == ["snapshot"]
+    assert [event.kind for event in catch_up_any] == ["snapshot"]
+
+    for op in seeded_ops(engine, rng, count=6, k=k):
+        engine.apply_updates([op])
+        engine.live.refine(max_batches=1)
+
+    for query, start, events in (
+        (exact, catch_up[0], seen[exact.key]),
+        (anytime, catch_up_any[0], seen[anytime.key]),
+    ):
+        # Strictly monotone, duplicate-free, and gap-free from the catch-up
+        # point: every emit bumps the version by exactly one.
+        versions = [start.version] + [event.version for event in events]
+        assert versions == list(range(versions[0], versions[0] + len(versions)))
+        logged = [event.version for event in query.events()]
+        assert logged == list(range(logged[0], logged[0] + len(logged)))
+        assert query.version == versions[-1]
+
+
+# --------------------------------------------------------------------- #
+# anytime brackets never widen across repair
+# --------------------------------------------------------------------- #
+@given(case_strategy)
+@SETTINGS
+def test_anytime_brackets_never_widen_across_repairs_or_refines(case):
+    n, d, k, seed = case
+    engine, focal, rng = make_engine(n, d, seed)
+    query = engine.subscribe(focal, k, "cta", anytime=True)
+
+    for op in seeded_ops(engine, rng, count=5, k=k):
+        lower, upper = query.bracket()
+        width_before = upper - lower
+        engine.apply_updates([op])
+        lower, upper = query.bracket()
+        assert lower <= upper + 1e-12
+        assert (upper - lower) <= width_before + 1e-12, "repair widened the bracket"
+
+    # Refines only tighten, down to certification.
+    while not query.done:
+        lower, upper = query.bracket()
+        width_before = upper - lower
+        query.refine(max_batches=1)
+        lower, upper = query.bracket()
+        assert (upper - lower) <= width_before + 1e-12, "refine widened the bracket"
+    lower, upper = query.bracket()
+    assert lower == upper
+
+    # Certified bracket equals the cold exact impact (the anchor).
+    cold = Engine(engine.dataset, k_max=engine.k_max).query(focal, k, method="cta")
+    assert abs(lower - cold.impact_probability()) < 1e-9
+
+
+# --------------------------------------------------------------------- #
+# coalesced bursts ≡ sequential application
+# --------------------------------------------------------------------- #
+@given(case_strategy)
+@SETTINGS
+def test_coalesced_burst_equals_sequential_application(case):
+    n, d, k, seed = case
+    engine, focal, rng = make_engine(n, d, seed)
+    ops = seeded_ops(engine, rng, count=7, k=k)
+
+    # Path A: the session coalesces the burst into one atomic batch.
+    session = engine.live
+    burst = engine.subscribe(focal, k, "cta")
+    for op in ops:
+        if op.op == "insert":
+            session.push_insert(op.values)
+        else:
+            session.push_delete(op.record_id)
+    applied = session.flush()
+    assert len(applied) == len(ops)
+    assert session.pending == 0
+
+    # Path B: a twin engine applies the same ops one at a time.
+    twin = Engine(independent_dataset(n, engine.dataset.dimensionality, seed=seed))
+    sequential = twin.subscribe(focal, k, "cta")
+    for op in ops:
+        twin.apply_updates([op])
+
+    # Same dataset state (fingerprints agree, so ids were assigned
+    # identically too) and byte-identical maintained answers.
+    assert engine.fingerprint == twin.fingerprint
+    assert burst.fingerprint == sequential.fingerprint
+    assert_results_identical(burst.result(), sequential.result())
+
+    # At most one repair event can come out of a coalesced burst.
+    assert burst.repairs <= 1
+    assert burst.repairs + burst.carried_forward == 1
+
+
+# --------------------------------------------------------------------- #
+# live.* metric-catalogue consistency
+# --------------------------------------------------------------------- #
+def test_live_metric_names_are_catalogued_and_emitted():
+    """Every runtime ``live.*`` name is declared, and vice versa."""
+    engine, focal, rng = make_engine(24, 2, seed=11)
+    session = engine.live
+    query = engine.subscribe(focal, 2, "cta", anytime=True)
+    for op in seeded_ops(engine, rng, count=4, k=2):
+        engine.apply_updates([op])
+    session.refine(max_batches=1)
+
+    # Every runtime instrument resolves into the declared live.* family,
+    # and the whole family is registered eagerly (dashboards see zeros,
+    # not holes); the family itself must live inside the global catalogue.
+    registered = {
+        instrument.name for instrument in session.metrics_registry().instruments()
+    }
+    assert registered == set(LIVE_METRIC_NAMES)
+    assert set(LIVE_METRIC_NAMES) <= ALL_METRIC_NAMES
+
+    snapshot = session.metrics()
+    assert snapshot["live.standing.queries"] == 1
+    assert snapshot["live.updates.total"] == 4
+    assert (
+        snapshot["live.repairs.total"] + snapshot["live.carried_forward.total"] >= 1
+    )
+    assert query.version >= 1

@@ -1,7 +1,7 @@
 """Regenerate benchmark result JSONs and fail if a documented bar drifted.
 
 The performance claims this repository documents (README, ROADMAP, the
-benchmark docstrings) are backed by four enforced bars:
+benchmark docstrings) are backed by five enforced bars:
 
 * ``bench_engine_amortized`` — the serving engine answers the 50-query
   amortized workload at least ``2x`` faster than naive repeated ``kspr()``;
@@ -11,7 +11,10 @@ benchmark docstrings) are backed by four enforced bars:
   instrumented engine stays within ``2%`` of an identical back-to-back run;
 * ``bench_serve_load`` — the serving tier's p99 time-to-first-answer stays
   within ``50 ms`` while replaying a Zipf workload at ``500`` offered QPS
-  over a warm engine (approx answers, background exact refinement).
+  over a warm engine (approx answers, background exact refinement);
+* ``bench_live_updates`` — maintaining a fleet of standing queries with
+  rules-1–4 incremental repair beats recompute-per-update by at least
+  ``5x`` on a mixed insert/delete stream over ``n = 10k``, ``d = 4``.
 
 ``benchmarks/results/*.json`` is deliberately **not** committed (timings are
 machine-specific), so "diffing" the artefacts means re-measuring and
@@ -27,8 +30,8 @@ Usage::
     PYTHONPATH=src python tools/check_bench_drift.py --only engine_amortized
 
 ``--tiny`` runs the seconds-long smoke configurations: correctness and
-artefact regeneration are exercised, but the two speedup floors are
-reported without being enforced (they are calibrated for the full
+artefact regeneration are exercised, but the speedup and latency floors
+are reported without being enforced (they are calibrated for the full
 workloads); the observability overhead bar is enforced in both modes.
 """
 
@@ -44,6 +47,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import bench_approx_scaling as approx_bench  # noqa: E402
 import bench_engine_amortized as engine_bench  # noqa: E402
+import bench_live_updates as live_bench  # noqa: E402
 import bench_obs_overhead as obs_bench  # noqa: E402
 import bench_serve_load as serve_bench  # noqa: E402
 
@@ -80,12 +84,20 @@ def _run_serve(tiny: bool) -> tuple[dict, float, float, bool]:
     return payload, measured, -serve_bench.TTFA_P99_BAR_SECONDS, not tiny
 
 
+def _run_live(tiny: bool) -> tuple[dict, float, float, bool]:
+    kwargs = live_bench._tiny_kwargs() if tiny else {}
+    payload = live_bench.run_comparison(**kwargs)
+    live_bench.emit(payload)
+    return payload, payload["live_speedup"], live_bench.REQUIRED_SPEEDUP, not tiny
+
+
 #: name -> (runner, unit, direction description)
 BENCHMARKS = {
     "engine_amortized": (_run_engine, "x speedup", "engine vs naive kspr"),
     "approx_scaling": (_run_approx, "x speedup", "sampling vs exact LP-CTA"),
     "obs_overhead": (_run_obs, " overhead", "disabled tracer vs baseline"),
     "serve_load": (_run_serve, "s p99 TTFA", "serving tier at 500 QPS"),
+    "live_updates": (_run_live, "x speedup", "standing repair vs recompute"),
 }
 
 

@@ -69,6 +69,10 @@ PAGES: dict[str, tuple[str, list[str]]] = {
         "repro.snapshot — persistent versioned snapshots",
         ["repro.snapshot.store", "repro.snapshot.persist"],
     ),
+    "live": (
+        "repro.live — standing queries under update streams",
+        ["repro.live.updates", "repro.live.standing", "repro.live.session"],
+    ),
     "serve": (
         "repro.serve — asyncio serving tier",
         [
